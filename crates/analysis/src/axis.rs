@@ -1,0 +1,94 @@
+//! Transformed axes for growth-model fits.
+//!
+//! The paper's bounds are stated against `log log n`, `(log log k)²`,
+//! `k log log k` and friends; these helpers compute those transforms with
+//! the conventions the experiments use throughout (binary logarithms,
+//! clamped below at tiny arguments so the transforms stay finite for the
+//! smallest sweep sizes).
+
+/// `log2(n)`, clamped below at 1 so iterated logs stay finite.
+pub fn log2(n: usize) -> f64 {
+    (n.max(2) as f64).log2().max(1.0)
+}
+
+/// `log2(log2(n))`, clamped below at 1.
+pub fn log2_log2(n: usize) -> f64 {
+    log2(n).log2().max(1.0)
+}
+
+/// `(log2 log2 n)^2` — the §5.1 step bound shape.
+pub fn log2_log2_squared(n: usize) -> f64 {
+    let v = log2_log2(n);
+    v * v
+}
+
+/// `n · log2 log2 n` — the §5.2 total-step bound shape.
+pub fn n_log2_log2(n: usize) -> f64 {
+    n as f64 * log2_log2(n)
+}
+
+/// Powers of two `2^lo ..= 2^hi` — the standard sweep axis.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi >= 63`.
+pub fn powers_of_two(lo: u32, hi: u32) -> Vec<usize> {
+    assert!(lo <= hi, "empty power range");
+    assert!(hi < 63, "2^{hi} does not fit in usize");
+    (lo..=hi).map(|e| 1usize << e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(log2(2), 1.0);
+        assert_eq!(log2(1024), 10.0);
+        // Clamped below.
+        assert_eq!(log2(0), 1.0);
+        assert_eq!(log2(1), 1.0);
+    }
+
+    #[test]
+    fn log2_log2_values() {
+        assert_eq!(log2_log2(16), 2.0);
+        assert_eq!(log2_log2(65_536), 4.0);
+        assert_eq!(log2_log2(4), 1.0);
+        // Clamp: log2(2) = 1, log2(1) = 0 -> clamped to 1.
+        assert_eq!(log2_log2(2), 1.0);
+    }
+
+    #[test]
+    fn squared_axis() {
+        assert_eq!(log2_log2_squared(65_536), 16.0);
+    }
+
+    #[test]
+    fn n_loglog_axis() {
+        assert_eq!(n_log2_log2(16), 32.0);
+    }
+
+    #[test]
+    fn power_ranges() {
+        assert_eq!(powers_of_two(3, 6), vec![8, 16, 32, 64]);
+        assert_eq!(powers_of_two(0, 0), vec![1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_panics() {
+        powers_of_two(5, 4);
+    }
+
+    #[test]
+    fn monotone_transforms() {
+        let ns = powers_of_two(2, 20);
+        for w in ns.windows(2) {
+            assert!(log2(w[0]) <= log2(w[1]));
+            assert!(log2_log2(w[0]) <= log2_log2(w[1]));
+            assert!(n_log2_log2(w[0]) < n_log2_log2(w[1]));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Statistics, curve fitting and reporting substrate for the renaming
+//! experiments.
+//!
+//! The paper makes asymptotic claims (`log log n + O(1)` steps, `O(n)`
+//! total work, `Ω(log log n)` layers, ...). To *check* such claims
+//! empirically this crate provides:
+//!
+//! * [`Summary`] — descriptive statistics over trial measurements;
+//! * [`LinearFit`] — least-squares fits of a measurement against a
+//!   transformed axis (e.g. `log2 log2 n`), with `R²` so competing growth
+//!   models can be compared;
+//! * [`Table`] — aligned ASCII tables for harness output;
+//! * [`ExperimentRecord`] — JSON-lines export so every number printed in
+//!   `EXPERIMENTS.md` can be regenerated and diffed;
+//! * [`axis`] — the transformed axes (`log2 n`, `log2 log2 n`,
+//!   `(log2 log2 n)²`, ...) used by the fits.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod axis;
+mod fit;
+mod record;
+mod stats;
+mod table;
+
+pub use fit::LinearFit;
+pub use record::ExperimentRecord;
+pub use stats::Summary;
+pub use table::Table;

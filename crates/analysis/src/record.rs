@@ -1,0 +1,104 @@
+//! JSON-lines export of experiment results.
+
+use std::io::Write;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// One recorded experiment data point: the experiment id, its parameters
+/// and its measured metrics, as free-form JSON objects.
+///
+/// The harness appends one record per table row to a `.jsonl` file so that
+/// every number in `EXPERIMENTS.md` is regenerable and diffable.
+///
+/// # Example
+///
+/// ```
+/// use renaming_analysis::ExperimentRecord;
+/// use serde_json::json;
+///
+/// let rec = ExperimentRecord::new(
+///     "e1",
+///     json!({"n": 1024, "trials": 30}),
+///     json!({"max_steps": 57.0}),
+/// );
+/// let mut buf = Vec::new();
+/// rec.write_jsonl(&mut buf).unwrap();
+/// let line = String::from_utf8(buf).unwrap();
+/// assert!(line.contains("\"experiment\":\"e1\""));
+/// assert!(line.ends_with('\n'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (`e1`..`e14`, `a1`, `a2`, ...).
+    pub experiment: String,
+    /// The sweep point (n, k, epsilon, adversary, seed, ...).
+    pub params: Value,
+    /// The measured values.
+    pub metrics: Value,
+}
+
+impl ExperimentRecord {
+    /// Creates a record.
+    pub fn new(experiment: impl Into<String>, params: Value, metrics: Value) -> Self {
+        Self {
+            experiment: experiment.into(),
+            params,
+            metrics,
+        }
+    }
+
+    /// Serializes the record as one JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization errors.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let line = serde_json::to_string(self)?;
+        writeln!(w, "{line}")
+    }
+
+    /// Parses records back from JSON-lines text, skipping blank lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error encountered.
+    pub fn read_jsonl(text: &str) -> Result<Vec<Self>, serde_json::Error> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn roundtrip_through_jsonl() {
+        let records = vec![
+            ExperimentRecord::new("e1", json!({"n": 8}), json!({"steps": 3})),
+            ExperimentRecord::new("e2", json!({"n": 16}), json!({"steps": 4.5})),
+        ];
+        let mut buf = Vec::new();
+        for r in &records {
+            r.write_jsonl(&mut buf).expect("write");
+        }
+        let text = String::from_utf8(buf).expect("utf8");
+        let back = ExperimentRecord::read_jsonl(&text).expect("parse");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "\n\n";
+        assert!(ExperimentRecord::read_jsonl(text).expect("parse").is_empty());
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(ExperimentRecord::read_jsonl("{not json").is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Descriptive statistics over trial measurements.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample: count, mean, standard deviation,
+/// extremes and quantiles.
+///
+/// # Example
+///
+/// ```
+/// use renaming_analysis::Summary;
+///
+/// let s = Summary::from_values([4.0, 8.0, 6.0]);
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 6.0);
+/// assert_eq!(s.min(), 4.0);
+/// assert_eq!(s.max(), 8.0);
+/// assert_eq!(s.quantile(0.5), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    sd: f64,
+}
+
+impl Summary {
+    /// Builds a summary from any collection of values.
+    ///
+    /// Non-finite values are rejected to keep downstream statistics
+    /// meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collection is empty or contains NaN/infinite values.
+    pub fn from_values<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        assert!(!sorted.is_empty(), "summary of an empty sample");
+        assert!(
+            sorted.iter().all(|v| v.is_finite()),
+            "summary requires finite values"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Self {
+            sorted,
+            mean,
+            sd: var.sqrt(),
+        }
+    }
+
+    /// Convenience: summarize integer measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collection is empty.
+    pub fn from_counts<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        Self::from_values(values.into_iter().map(|v| v as f64))
+    }
+
+    /// Sample size.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// The `q`-quantile by nearest-rank interpolation, `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p50={:.3} max={:.3}",
+            self.count(),
+            self.mean(),
+            self.sd(),
+            self.min(),
+            self.median(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sd(), 2.0); // classic textbook sample
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let s = Summary::from_counts(1..=100u64);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        // Nearest-rank with round-half-up picks the upper middle element.
+        assert_eq!(s.median(), 51.0);
+        assert_eq!(s.quantile(0.99), 99.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_values([42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.sd(), 0.0);
+        assert_eq!(s.median(), 42.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let s = Summary::from_values([9.0, 1.0, 5.0]);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        Summary::from_values(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        Summary::from_values([1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = Summary::from_values([1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        for needle in ["n=3", "mean=", "sd=", "min=", "p50=", "max="] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Summary::from_values([1.0, 2.0]);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: Summary = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,158 @@
+//! Aligned ASCII tables for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned table builder.
+///
+/// The experiment harness prints one table per reproduced claim; the same
+/// renderer writes the blocks pasted into `EXPERIMENTS.md`.
+///
+/// # Example
+///
+/// ```
+/// use renaming_analysis::Table;
+///
+/// let mut t = Table::new(["n", "max steps"]);
+/// t.row(["256", "57"]);
+/// t.row(["65536", "58"]);
+/// let text = t.to_string();
+/// assert!(text.contains("max steps"));
+/// assert!(text.lines().count() >= 4); // header, rule, two rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no headers are given.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (cell, w) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["n", "steps"]);
+        t.row(["8", "12"]).row(["1048576", "58"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows render to the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn row_count_tracks_rows() {
+        let mut t = Table::new(["a"]);
+        assert_eq!(t.row_count(), 0);
+        t.row(["1"]);
+        t.row(["2"]);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_headers_panic() {
+        Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn numeric_cells_right_align() {
+        let mut t = Table::new(["value"]);
+        t.row(["1"]);
+        t.row(["100"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("100"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline renaming algorithms the paper's results are measured against.
+//!
+//! * [`UniformMachine`] — the naive strategy the paper's §4 dismisses:
+//!   "if processes do just uniform random probes among all objects, then
+//!   with probability 1 − o(1) some process will have to do Ω(log n)
+//!   probes before it acquires a name". Experiment E10 reproduces that
+//!   separation.
+//! * [`LinearScanMachine`] — deterministic left-to-right scan: optimal
+//!   namespace (`n` names), but Θ(n) worst-case steps and heavy contention.
+//! * [`SingleBatchMachine`] — ablation A1: ReBatching's total probe budget
+//!   spent uniformly over the whole namespace (no batch geometry), backup
+//!   afterwards. Isolates what the geometric batches buy.
+//! * [`DoublingUniformMachine`] — the natural adaptive strawman: uniform
+//!   probes over a window that doubles after every few failures; names are
+//!   `O(k)`-ish but probes grow like `log k`.
+//!
+//! All baselines implement [`renaming_sim::Renamer`], so they run under
+//! the same adversaries, crash plans and reports as the paper's
+//! algorithms, and can be driven against hardware atomics with
+//! [`renaming_core::driver::drive`].
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod doubling;
+mod linear;
+mod single_batch;
+mod uniform;
+
+pub use doubling::DoublingUniformMachine;
+pub use linear::LinearScanMachine;
+pub use single_batch::SingleBatchMachine;
+pub use uniform::UniformMachine;

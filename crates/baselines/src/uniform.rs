@@ -1,0 +1,127 @@
+//! Uniform random probing over the whole namespace.
+
+use rand::{Rng, RngCore};
+
+use renaming_sim::{Action, MachineStats, Name, Renamer};
+
+/// The naive randomized renamer: probe a uniformly random location in
+/// `0..m` until a TAS is won.
+///
+/// With `m = (1+ε)n` this terminates quickly *on average*, but the unlucky
+/// tail is long: the last processes face occupancy close to `1/(1+ε)`, so
+/// the maximum over `n` processes is `Θ(log n)` probes — the §4
+/// observation ReBatching is designed to beat.
+#[derive(Debug, Clone)]
+pub struct UniformMachine {
+    namespace: usize,
+    last: usize,
+    won: Option<Name>,
+    probes: u64,
+}
+
+impl UniformMachine {
+    /// Creates a machine probing locations `0..namespace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace == 0`.
+    pub fn new(namespace: usize) -> Self {
+        assert!(namespace > 0, "namespace must be nonempty");
+        Self {
+            namespace,
+            last: 0,
+            won: None,
+            probes: 0,
+        }
+    }
+
+    /// The namespace size `m`.
+    pub fn namespace(&self) -> usize {
+        self.namespace
+    }
+}
+
+impl Renamer for UniformMachine {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        match self.won {
+            Some(name) => Action::Done(name),
+            None => {
+                self.last = rng.gen_range(0..self.namespace);
+                Action::Probe(self.last)
+            }
+        }
+    }
+
+    fn observe(&mut self, won: bool) {
+        self.probes += 1;
+        if won {
+            self.won = Some(Name::new(self.last));
+        }
+    }
+
+    fn name(&self) -> Option<Name> {
+        self.won
+    }
+
+    fn stats(&self) -> MachineStats {
+        MachineStats {
+            probes: self.probes,
+            names_acquired: u64::from(self.won.is_some()),
+            ..MachineStats::default()
+        }
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renaming_sim::Execution;
+
+    fn machines(n: usize, m: usize) -> Vec<Box<dyn Renamer>> {
+        (0..n)
+            .map(|_| Box::new(UniformMachine::new(m)) as Box<dyn Renamer>)
+            .collect()
+    }
+
+    #[test]
+    fn everyone_gets_a_unique_name() {
+        let (n, m) = (64, 128);
+        let report = Execution::new(m).seed(1).run(machines(n, m)).expect("run");
+        assert_eq!(report.named_count(), n);
+        assert!(report.names_within(m).is_ok());
+    }
+
+    #[test]
+    fn solo_process_wins_first_probe() {
+        let report = Execution::new(16).seed(2).run(machines(1, 16)).expect("run");
+        assert_eq!(report.max_steps(), 1);
+    }
+
+    #[test]
+    fn tight_namespace_still_terminates() {
+        // m = n: uniform probing must still fill every slot (slowly).
+        let (n, m) = (32, 32);
+        let report = Execution::new(m).seed(3).run(machines(n, m)).expect("run");
+        assert_eq!(report.named_count(), n);
+        assert_eq!(report.set_count, m);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_namespace_panics() {
+        UniformMachine::new(0);
+    }
+
+    #[test]
+    fn stats_track_probes() {
+        let (n, m) = (16, 32);
+        let report = Execution::new(m).seed(4).run(machines(n, m)).expect("run");
+        for (o, s) in report.outcomes.iter().zip(&report.stats) {
+            assert_eq!(o.steps(), s.probes);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Wall-clock benchmarks of the adaptive algorithms.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use renaming_core::{AdaptiveLayout, AdaptiveMachine, Epsilon, FastAdaptiveMachine, ProbeSchedule};
+use renaming_sim::{Execution, Renamer};
+
+fn layout(capacity: usize) -> Arc<AdaptiveLayout> {
+    Arc::new(
+        AdaptiveLayout::for_capacity(
+            capacity,
+            ProbeSchedule::paper(Epsilon::one(), 3).expect("schedule"),
+        )
+        .expect("layout"),
+    )
+}
+
+fn adaptive_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive/simulated-execution");
+    group.sample_size(10);
+    let layout = layout(1 << 12);
+    for &k in &[16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let machines: Vec<Box<dyn Renamer>> = (0..k)
+                    .map(|_| {
+                        Box::new(AdaptiveMachine::new(Arc::clone(&layout))) as Box<dyn Renamer>
+                    })
+                    .collect();
+                Execution::new(layout.total_size())
+                    .seed(seed)
+                    .run(machines)
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast_adaptive_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast-adaptive/simulated-execution");
+    group.sample_size(10);
+    let layout = layout(1 << 12);
+    for &k in &[16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let machines: Vec<Box<dyn Renamer>> = (0..k)
+                    .map(|_| {
+                        Box::new(FastAdaptiveMachine::new(Arc::clone(&layout)))
+                            as Box<dyn Renamer>
+                    })
+                    .collect();
+                Execution::new(layout.total_size())
+                    .seed(seed)
+                    .run(machines)
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adaptive_execution, fast_adaptive_execution);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks comparing ReBatching against the baseline renamers.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use renaming_baselines::{LinearScanMachine, SingleBatchMachine, UniformMachine};
+use renaming_core::{BatchLayout, Epsilon, ProbeSchedule, RebatchingMachine};
+use renaming_sim::{Execution, Renamer};
+
+fn execution_of<F>(n: usize, memory: usize, seed: u64, factory: F)
+where
+    F: Fn() -> Box<dyn Renamer>,
+{
+    let machines: Vec<Box<dyn Renamer>> = (0..n).map(|_| factory()).collect();
+    Execution::new(memory)
+        .seed(seed)
+        .run(machines)
+        .expect("run");
+}
+
+fn algorithm_comparison(c: &mut Criterion) {
+    let n = 1024usize;
+    let layout = BatchLayout::shared(
+        n,
+        ProbeSchedule::paper(Epsilon::one(), 3).expect("schedule"),
+    )
+    .expect("layout");
+    let m = layout.namespace_size();
+    let mut group = c.benchmark_group("baselines/full-execution-n1024");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("rebatching"), |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            execution_of(n, m, seed, || {
+                Box::new(RebatchingMachine::new(Arc::clone(&layout), 0))
+            })
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("uniform"), |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            execution_of(n, m, seed, || Box::new(UniformMachine::new(m)))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("single-batch"), |b| {
+        let mut seed = 0;
+        let budget = layout.max_probes();
+        b.iter(|| {
+            seed += 1;
+            execution_of(n, m, seed, || Box::new(SingleBatchMachine::new(m, budget)))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("linear-scan"), |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            execution_of(n, n, seed, || Box::new(LinearScanMachine::new()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, algorithm_comparison);
+criterion_main!(benches);

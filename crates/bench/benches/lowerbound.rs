@@ -1,0 +1,85 @@
+//! Benchmarks of the §6 lower-bound machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use renaming_lowerbound::types::uniform_types;
+use renaming_lowerbound::{run_marking, CoupledPoisson, MarkingConfig, Poisson, RateSystem};
+
+fn poisson_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowerbound/poisson");
+    for &lambda in &[1.0f64, 100.0, 10_000.0] {
+        group.bench_with_input(
+            BenchmarkId::new("cdf-at-mean", lambda as u64),
+            &lambda,
+            |b, &l| {
+                let p = Poisson::new(l);
+                b.iter(|| p.cdf(l as u64))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sample", lambda as u64),
+            &lambda,
+            |b, &l| {
+                let p = Poisson::new(l);
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| p.sample(&mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn coupling_ops(c: &mut Criterion) {
+    c.bench_function("lowerbound/coupled-sample", |b| {
+        let coupling = CoupledPoisson::new(4.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| coupling.sample(&mut rng))
+    });
+}
+
+fn rate_recurrence(c: &mut Criterion) {
+    c.bench_function("lowerbound/rate-layer-64k-types", |b| {
+        let s = 1 << 12;
+        let types = uniform_types(1 << 16, s, 1, 3);
+        let locations: Vec<usize> = types.iter().map(|t| t[0]).collect();
+        b.iter(|| {
+            let mut sys = RateSystem::uniform(locations.len(), 1024.0);
+            sys.step(&locations, s)
+        })
+    });
+}
+
+fn marking_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowerbound/marking");
+    group.sample_size(10);
+    group.bench_function("n4096-8layers", |b| {
+        let n = 4096;
+        let s = 2 * n;
+        let types = uniform_types(2 * n, s, 8, 5);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_marking(
+                MarkingConfig {
+                    n,
+                    s,
+                    layers: 8,
+                    seed,
+                },
+                &types,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    poisson_ops,
+    coupling_ops,
+    rate_recurrence,
+    marking_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Wall-clock benchmarks of the ReBatching object: threaded `get_name`
+//! latency/makespan and simulated-execution throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use renaming_core::{Epsilon, Rebatching, RebatchingMachine};
+use renaming_sim::{Execution, Renamer};
+
+fn threaded_acquire_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebatching/threads-acquire-all");
+    group.sample_size(10);
+    for &threads in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let object =
+                        Rebatching::with_defaults(threads * 16, Epsilon::one()).expect("object");
+                    let handles: Vec<_> = (0..threads)
+                        .map(|i| {
+                            let obj = object.clone();
+                            std::thread::spawn(move || {
+                                let mut rng = StdRng::seed_from_u64(i as u64);
+                                for _ in 0..16 {
+                                    obj.get_name(&mut rng).expect("name");
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("join");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn single_thread_get_name(c: &mut Criterion) {
+    c.bench_function("rebatching/get-name-solo", |b| {
+        let object = Rebatching::with_defaults(4096, Epsilon::one()).expect("object");
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut taken = 0usize;
+        b.iter(|| {
+            if taken >= 2048 {
+                object.slots().reset_all();
+                taken = 0;
+            }
+            taken += 1;
+            object.get_name(&mut rng).expect("name")
+        });
+    });
+}
+
+fn simulated_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebatching/simulated-execution");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let layout = renaming_core::BatchLayout::shared(
+                n,
+                renaming_core::ProbeSchedule::paper(Epsilon::one(), 3).expect("schedule"),
+            )
+            .expect("layout");
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let machines: Vec<Box<dyn Renamer>> = (0..n)
+                    .map(|_| {
+                        Box::new(RebatchingMachine::new(Arc::clone(&layout), 0))
+                            as Box<dyn Renamer>
+                    })
+                    .collect();
+                Execution::new(layout.namespace_size())
+                    .seed(seed)
+                    .run(machines)
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    threaded_acquire_all,
+    single_thread_get_name,
+    simulated_execution
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the TAS substrate.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use renaming_tas::rwtas::TournamentTas;
+use renaming_tas::{AtomicTas, CountingTas, Tas, TasArray};
+
+fn atomic_tas(c: &mut Criterion) {
+    c.bench_function("tas/atomic-lost-op", |b| {
+        let t = AtomicTas::new_set();
+        b.iter(|| t.test_and_set().lost())
+    });
+    c.bench_function("tas/counting-wrapper-op", |b| {
+        let t = CountingTas::new(AtomicTas::new_set());
+        b.iter(|| t.test_and_set().lost())
+    });
+}
+
+fn tas_array_probe(c: &mut Criterion) {
+    c.bench_function("tas/array-probe", |b| {
+        let a: TasArray<AtomicTas> = TasArray::new(1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            a.test_and_set(i)
+        })
+    });
+}
+
+fn tournament_race(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tas/tournament-race");
+    group.sample_size(10);
+    for &k in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let t = Arc::new(TournamentTas::new(k));
+                let handles: Vec<_> = (0..k)
+                    .map(|pid| {
+                        let t = Arc::clone(&t);
+                        std::thread::spawn(move || {
+                            let mut rng = StdRng::seed_from_u64(pid as u64);
+                            t.test_and_set_with(pid, &mut rng).won()
+                        })
+                    })
+                    .collect();
+                let winners = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("join"))
+                    .filter(|won| *won)
+                    .count();
+                assert_eq!(winners, 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, atomic_tas, tas_array_probe, tournament_race);
+criterion_main!(benches);

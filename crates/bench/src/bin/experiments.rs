@@ -1,0 +1,121 @@
+//! Experiment runner: regenerates every table in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! experiments all                  # run everything (full sweeps)
+//! experiments e1 e7 --quick        # selected experiments, CI-sized
+//! experiments all --out results.jsonl --seed 7
+//! experiments --list
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use renaming_bench::{experiments, Harness};
+
+struct Args {
+    ids: Vec<String>,
+    quick: bool,
+    list: bool,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        quick: false,
+        list: false,
+        seed: 42,
+        out: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--list" => args.list = true,
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--out" => {
+                args.out = Some(iter.next().ok_or("--out needs a path")?);
+            }
+            "--help" | "-h" => {
+                args.list = true;
+            }
+            id => args.ids.push(id.to_ascii_lowercase()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let catalog = experiments::catalog();
+    if args.list || args.ids.is_empty() {
+        println!("usage: experiments <id>... [--quick] [--seed N] [--out FILE]");
+        println!("       experiments all [--quick]\n");
+        println!("available experiments:");
+        for info in &catalog {
+            println!("  {:<4} {}", info.id, info.claim);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<String> = if args.ids.iter().any(|i| i == "all") {
+        catalog.iter().map(|i| i.id.to_string()).collect()
+    } else {
+        args.ids.clone()
+    };
+    for id in &ids {
+        if !catalog.iter().any(|i| i.id == id) {
+            eprintln!("error: unknown experiment `{id}` (try --list)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut harness = Harness::new(args.quick, args.seed);
+    let mut failures = 0usize;
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let report = experiments::run(id, &mut harness);
+        println!("{report}");
+        println!("({id} took {:.1?})\n", started.elapsed());
+        if report.contains("[FAIL]") {
+            failures += 1;
+        }
+    }
+
+    if let Some(path) = &args.out {
+        match std::fs::File::create(path) {
+            Ok(mut file) => {
+                if let Err(e) = harness.write_records(&mut file) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let _ = writeln!(
+                    std::io::stderr(),
+                    "wrote {} records to {path}",
+                    harness.records().len()
+                );
+            }
+            Err(e) => {
+                eprintln!("error creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) FAILED");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

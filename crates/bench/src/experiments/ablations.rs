@@ -1,0 +1,170 @@
+//! A1–A2: ablations of ReBatching's design choices.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use serde_json::json;
+
+use renaming_analysis::{Summary, Table};
+use renaming_baselines::SingleBatchMachine;
+use renaming_core::{BatchLayout, Epsilon, ProbeSchedule, RebatchingMachine};
+use renaming_sim::adversary::UniformRandom;
+use renaming_sim::Renamer;
+
+use crate::experiments::{header, verdict};
+use crate::harness::run_execution;
+use crate::Harness;
+
+/// A1 — the geometric batch layout vs the same probe budget without it.
+pub fn a1_geometry(h: &mut Harness) -> String {
+    let mut out = header(
+        "a1",
+        "ablation: geometric batches (Eq. 1) vs the same budget spent uniformly",
+    );
+    // Use the practical tuned profile so the probe budget is small enough
+    // for the geometry to matter (with t0 = 53 neither variant ever runs
+    // out of probes at these scales).
+    let schedule = ProbeSchedule::tuned(Epsilon::one(), 3, 3).expect("tuned schedule");
+    let mut table = Table::new([
+        "n",
+        "rebatch max",
+        "rebatch backup",
+        "single-batch max",
+        "single-batch backup",
+    ]);
+    let mut pass = true;
+    for n in h.n_sweep() {
+        let layout = BatchLayout::shared(n, schedule).expect("layout");
+        let m = layout.namespace_size();
+        let budget = layout.max_probes();
+        let trials = h.trials_for(n);
+        let mut reb_max = Vec::new();
+        let mut reb_backup = 0usize;
+        let mut sb_max = Vec::new();
+        let mut sb_backup = 0usize;
+        for t in 0..trials {
+            let seed = h.seed() ^ ((n as u64) << 16) ^ t as u64;
+            let r = run_execution(m, n, Box::new(UniformRandom::new()), seed, || {
+                Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
+            });
+            reb_max.push(r.max_steps());
+            reb_backup += r.backup_entries();
+            let r = run_execution(m, n, Box::new(UniformRandom::new()), seed, || {
+                Box::new(SingleBatchMachine::new(m, budget)) as Box<dyn Renamer>
+            });
+            sb_max.push(r.max_steps());
+            sb_backup += r.backup_entries();
+        }
+        let reb = Summary::from_counts(reb_max);
+        let sb = Summary::from_counts(sb_max);
+        // The geometry guarantees the budget; the flat variant may fall
+        // into its (expensive, sequential) backup scan.
+        pass &= reb_backup == 0 && reb.max() <= budget as f64;
+        table.row([
+            n.to_string(),
+            format!("{:.0}", reb.max()),
+            reb_backup.to_string(),
+            format!("{:.0}", sb.max()),
+            sb_backup.to_string(),
+        ]);
+        h.record(
+            "a1",
+            json!({"n": n, "budget": budget}),
+            json!({"rebatch_max": reb.max(), "single_max": sb.max(),
+                   "rebatch_backup": reb_backup, "single_backup": sb_backup}),
+        );
+    }
+    let _ = writeln!(out, "tuned profile: t0 = 3, beta = 3 (same total budget for both)");
+    let _ = writeln!(out, "{table}");
+    out.push_str(&verdict(
+        pass,
+        "with geometric batches the budget always suffices (no backup); the flat \
+         variant leans on its backup scan as n grows",
+    ));
+    out
+}
+
+/// A2 — the batch-0 probe count `t0`.
+pub fn a2_t0(h: &mut Harness) -> String {
+    let mut out = header(
+        "a2",
+        "ablation: the t0 = ceil(17 ln(8e/eps)/eps) constant (Eq. 2)",
+    );
+    let n = if h.quick() { 1 << 10 } else { 1 << 14 };
+    let mut table = Table::new([
+        "t0",
+        "max steps",
+        "p99 steps",
+        "mean steps",
+        "into batch>=1",
+        "backup",
+    ]);
+    let paper_t0 = ProbeSchedule::paper(Epsilon::one(), 3).expect("paper").t0();
+    for &t0 in &[1usize, 2, 4, 8, paper_t0] {
+        let schedule = ProbeSchedule::tuned(Epsilon::one(), 3, t0).expect("schedule");
+        let layout = BatchLayout::shared(n, schedule).expect("layout");
+        let m = layout.namespace_size();
+        let trials = h.trials_for(n);
+        let mut maxes = Vec::new();
+        let mut p99s = Vec::new();
+        let mut means = Vec::new();
+        let mut deep = 0usize;
+        let mut backups = 0usize;
+        for t in 0..trials {
+            let r = run_execution(
+                m,
+                n,
+                Box::new(UniformRandom::new()),
+                h.seed() ^ ((t0 as u64) << 13) ^ t as u64,
+                || Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>,
+            );
+            maxes.push(r.max_steps());
+            p99s.push(r.steps_quantile(0.99));
+            means.push(r.mean_steps());
+            deep += r.survivors_at_batch(1);
+            backups += r.backup_entries();
+        }
+        table.row([
+            t0.to_string(),
+            format!("{:.0}", Summary::from_counts(maxes).max()),
+            format!("{:.0}", Summary::from_counts(p99s).max()),
+            format!("{:.2}", Summary::from_values(means).mean()),
+            deep.to_string(),
+            backups.to_string(),
+        ]);
+        h.record(
+            "a2",
+            json!({"n": n, "t0": t0}),
+            json!({"deep": deep, "backups": backups}),
+        );
+    }
+    let _ = writeln!(out, "n = {n}, eps = 1, beta = 3");
+    let _ = writeln!(out, "{table}");
+    // Informational ablation: always "passes"; the table is the finding.
+    out.push_str(&verdict(
+        true,
+        "small t0 pushes processes into later batches (and eventually backup); a few \
+         probes already deliver the paper's behaviour — 17 ln(8e/eps)/eps is a proof \
+         constant, not a practical requirement",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_quick_passes() {
+        let mut h = Harness::new(true, 17);
+        let report = a1_geometry(&mut h);
+        assert!(report.contains("[PASS]"), "{report}");
+    }
+
+    #[test]
+    fn a2_quick_passes() {
+        let mut h = Harness::new(true, 17);
+        let report = a2_t0(&mut h);
+        assert!(report.contains("[PASS]"), "{report}");
+    }
+}

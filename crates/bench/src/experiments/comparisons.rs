@@ -1,0 +1,236 @@
+//! E10–E11: baseline comparisons and adversary sweeps.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use serde_json::json;
+
+use renaming_analysis::{axis, LinearFit, Summary, Table};
+use renaming_baselines::{LinearScanMachine, UniformMachine};
+use renaming_core::{Epsilon, ProbeSchedule, RebatchingMachine};
+use renaming_sim::adversary::{
+    all_strategies, LayeredPermutation, RoundRobin,
+};
+use renaming_sim::Renamer;
+
+use crate::experiments::{header, verdict};
+use crate::harness::{paper_layout, run_execution};
+use crate::Harness;
+
+/// E10 — uniform probing grows like log n; ReBatching stays flat.
+pub fn e10_crossover(h: &mut Harness) -> String {
+    let mut out = header(
+        "e10",
+        "uniform probing needs Theta(log n) probes; ReBatching stays ~log log n (S4 intro)",
+    );
+    let tuned = ProbeSchedule::tuned(Epsilon::one(), 3, 3).expect("valid tuned schedule");
+    let mut table = Table::new([
+        "n",
+        "rebatch(paper) max",
+        "rebatch(tuned) max",
+        "uniform max",
+        "uniform mean",
+        "linear max",
+    ]);
+    let mut uniform_maxes = Vec::new();
+    let mut rebatch_tuned_maxes = Vec::new();
+    let mut log_axis = Vec::new();
+    for n in h.n_sweep() {
+        let trials = h.trials_for(n);
+        let layout = paper_layout(n);
+        let m = layout.namespace_size();
+        let tuned_layout =
+            renaming_core::BatchLayout::shared(n, tuned).expect("tuned layout");
+        let mut paper_max = Vec::new();
+        let mut tuned_max = Vec::new();
+        let mut uni_max = Vec::new();
+        let mut uni_mean = Vec::new();
+        let mut lin_max = Vec::new();
+        for t in 0..trials {
+            let seed = h.seed() ^ ((n as u64) << 18) ^ t as u64;
+            let r = run_execution(m, n, Box::new(RoundRobin::new()), seed, || {
+                Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
+            });
+            paper_max.push(r.max_steps());
+            let r = run_execution(
+                tuned_layout.namespace_size(),
+                n,
+                Box::new(RoundRobin::new()),
+                seed,
+                || Box::new(RebatchingMachine::new(Arc::clone(&tuned_layout), 0)) as Box<dyn Renamer>,
+            );
+            tuned_max.push(r.max_steps());
+            let r = run_execution(m, n, Box::new(RoundRobin::new()), seed, || {
+                Box::new(UniformMachine::new(m)) as Box<dyn Renamer>
+            });
+            uni_max.push(r.max_steps());
+            uni_mean.push(r.mean_steps());
+            // Linear scan is Theta(n) per process (Theta(n^2) total work):
+            // cap its sweep so it fits the runner's livelock budget.
+            if n <= 1 << 11 {
+                let r = run_execution(n, n, Box::new(RoundRobin::new()), seed, || {
+                    Box::new(LinearScanMachine::new()) as Box<dyn Renamer>
+                });
+                lin_max.push(r.max_steps());
+            }
+        }
+        let uni = Summary::from_counts(uni_max.iter().copied());
+        let tun = Summary::from_counts(tuned_max.iter().copied());
+        uniform_maxes.push(uni.mean());
+        rebatch_tuned_maxes.push(tun.mean());
+        log_axis.push(axis::log2(n));
+        table.row([
+            n.to_string(),
+            format!("{:.0}", Summary::from_counts(paper_max).max()),
+            format!("{:.0}", tun.max()),
+            format!("{:.0}", uni.max()),
+            format!("{:.2}", Summary::from_values(uni_mean).mean()),
+            if lin_max.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.0}", Summary::from_counts(lin_max).max())
+            },
+        ]);
+        h.record(
+            "e10",
+            json!({"n": n, "trials": trials}),
+            json!({"uniform_max": uni.max(), "tuned_max": tun.max()}),
+        );
+    }
+    let uni_fit = LinearFit::fit(&log_axis, &uniform_maxes);
+    let reb_fit = LinearFit::fit(&log_axis, &rebatch_tuned_maxes);
+    let _ = writeln!(out, "{table}");
+    let _ = writeln!(out, "uniform max-steps vs log2 n:        {uni_fit}");
+    let _ = writeln!(out, "rebatch(tuned) max-steps vs log2 n: {reb_fit}");
+    let _ = writeln!(
+        out,
+        "note: with the paper's t0 = 53 the constant dominates at laptop scales, so the\n\
+         paper-profile crossover against uniform sits beyond n = 2^50; the tuned profile\n\
+         (t0 = 3, same w.h.p. structure) wins from moderate n on — the asymptotic shapes\n\
+         (Theta(log n) vs ~flat) are exactly the paper's."
+    );
+    // Shape check: uniform grows with log n clearly; tuned rebatching is
+    // at least 3x flatter.
+    let pass = uni_fit.slope() > 0.4 && reb_fit.slope() < uni_fit.slope() / 3.0;
+    let crossover = log_axis
+        .iter()
+        .zip(uniform_maxes.iter().zip(&rebatch_tuned_maxes))
+        .find(|(_, (u, r))| u > r)
+        .map(|(x, _)| format!("2^{:.0}", x));
+    out.push_str(&verdict(
+        pass,
+        &format!(
+            "uniform grows {:.2} probes per doubling of n; tuned ReBatching {:.2} \
+             (crossover at n ~ {})",
+            uni_fit.slope(),
+            reb_fit.slope(),
+            crossover.unwrap_or_else(|| "beyond sweep".to_string())
+        ),
+    ));
+    out
+}
+
+/// E11 — adversary sweep: correctness and step complexity under every
+/// scheduler, including the strong ones.
+pub fn e11_adversaries(h: &mut Harness) -> String {
+    let mut out = header("e11", "ReBatching under every adversary class (S2)");
+    let n = if h.quick() { 1 << 9 } else { 1 << 12 };
+    let layout = paper_layout(n);
+    let m = layout.namespace_size();
+    let budget = layout.max_probes() as u64;
+    let mut table = Table::new(["adversary", "max steps", "mean steps", "layers", "backup"]);
+    let mut pass = true;
+    let labels: Vec<String> = all_strategies().iter().map(|a| a.label().to_string()).collect();
+    for label in labels {
+        let trials = h.trials_for(n).max(5);
+        let mut maxes = Vec::new();
+        let mut means = Vec::new();
+        let mut layers = None;
+        let mut backups = 0usize;
+        for t in 0..trials {
+            let adversary: Box<dyn renaming_sim::adversary::Adversary> = all_strategies()
+                .into_iter()
+                .find(|a| a.label() == label)
+                .expect("known label");
+            let r = run_execution(m, n, adversary, h.seed() ^ (t as u64) << 7, || {
+                Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
+            });
+            pass &= r.named_count() == n;
+            backups += r.backup_entries();
+            pass &= r.backup_entries() > 0 || r.max_steps() <= budget;
+            maxes.push(r.max_steps());
+            means.push(r.mean_steps());
+            layers = r.layers.or(layers);
+        }
+        let maxes = Summary::from_counts(maxes);
+        table.row([
+            label.clone(),
+            format!("{:.0}", maxes.max()),
+            format!("{:.2}", Summary::from_values(means).mean()),
+            layers.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            backups.to_string(),
+        ]);
+        h.record(
+            "e11",
+            json!({"n": n, "adversary": label}),
+            json!({"max_steps": maxes.max(), "backups": backups}),
+        );
+    }
+    let _ = writeln!(out, "n = {n}, probe budget = {budget}");
+    let _ = writeln!(out, "{table}");
+    out.push_str(&verdict(
+        pass,
+        "unique names under every scheduler; steps within budget whenever no backup ran",
+    ));
+    out
+}
+
+/// Shared by E7(c)-style diagnostics: layers-to-completion under the
+/// layered schedule (used by the integration tests too).
+pub fn layers_to_completion(n: usize, seed: u64, uniform: bool) -> u64 {
+    let layout = paper_layout(n);
+    let m = layout.namespace_size();
+    let report = if uniform {
+        run_execution(m, n, Box::new(LayeredPermutation::new()), seed, || {
+            Box::new(UniformMachine::new(m)) as Box<dyn Renamer>
+        })
+    } else {
+        run_execution(m, n, Box::new(LayeredPermutation::new()), seed, || {
+            Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
+        })
+    };
+    report.layers.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_quick_passes() {
+        let mut h = Harness::new(true, 11);
+        let report = e10_crossover(&mut h);
+        assert!(report.contains("[PASS]"), "{report}");
+    }
+
+    #[test]
+    fn e11_quick_passes() {
+        let mut h = Harness::new(true, 11);
+        let report = e11_adversaries(&mut h);
+        assert!(report.contains("[PASS]"), "{report}");
+    }
+
+    #[test]
+    fn layered_layers_reflect_max_steps() {
+        // Under the layered schedule, layers == max steps of the slowest
+        // process (every live process takes one step per layer).
+        let layers = layers_to_completion(128, 3, false);
+        assert!(layers > 0 && layers < 200, "layers = {layers}");
+    }
+
+    #[test]
+    fn uniform_needs_more_layers_than_tuned_budget() {
+        let uniform_layers = layers_to_completion(1 << 10, 9, true);
+        assert!(uniform_layers >= 4, "uniform should face collisions");
+    }
+}

@@ -1,0 +1,116 @@
+//! The experiment registry: one entry per reproduced claim.
+//!
+//! Ids follow `DESIGN.md` §5. Every experiment takes the shared
+//! [`Harness`], prints nothing itself, and returns its full text report
+//! (tables + verdict) so the binary, the tests and `EXPERIMENTS.md` all
+//! consume the same artifact.
+
+mod ablations;
+mod adaptive;
+mod comparisons;
+mod lower_bound;
+mod non_adaptive;
+mod robustness;
+
+pub use comparisons::layers_to_completion;
+
+use crate::Harness;
+
+/// Static description of one experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentInfo {
+    /// Registry id (`e1` .. `e14`, `a1`, `a2`).
+    pub id: &'static str,
+    /// The paper claim being reproduced.
+    pub claim: &'static str,
+}
+
+/// All registered experiments, in presentation order.
+pub fn catalog() -> Vec<ExperimentInfo> {
+    vec![
+        ExperimentInfo { id: "e1", claim: "Thm 4.1: ReBatching step complexity <= log log n + O(1) w.h.p." },
+        ExperimentInfo { id: "e2", claim: "Thm 4.1: ReBatching total step complexity O(n)" },
+        ExperimentInfo { id: "e3", claim: "Lemma 4.2: batch survivors n_i <= n*_i" },
+        ExperimentInfo { id: "e4", claim: "S4: the backup phase runs with very low probability" },
+        ExperimentInfo { id: "e5", claim: "Thm 5.1: adaptive steps O((log log k)^2), names O(k) w.h.p." },
+        ExperimentInfo { id: "e6", claim: "Thm 5.2: fast adaptive total steps O(k log log k), names O(k) w.h.p." },
+        ExperimentInfo { id: "e7", claim: "Thm 6.1: survivors persist Omega(log log n) layers" },
+        ExperimentInfo { id: "e8", claim: "Lemma 6.5: P_lambda(n+1) <= P_gamma(n)" },
+        ExperimentInfo { id: "e9", claim: "Lemma 6.6: per-layer rate decay bound" },
+        ExperimentInfo { id: "e10", claim: "S4 intro: uniform probing needs Theta(log n); ReBatching stays flat" },
+        ExperimentInfo { id: "e11", claim: "S2: the algorithms work against strong adversaries" },
+        ExperimentInfo { id: "e12", claim: "S2 model: any number of crash failures is tolerated" },
+        ExperimentInfo { id: "e13", claim: "S4: namespace (1+eps)n for any fixed eps > 0" },
+        ExperimentInfo { id: "e14", claim: "S2 remark: register-based TAS costs a log factor per operation" },
+        ExperimentInfo { id: "a1", claim: "Ablation: geometric batches vs same budget without geometry" },
+        ExperimentInfo { id: "a2", claim: "Ablation: the t0 = 17 ln(8e/eps)/eps constant" },
+    ]
+}
+
+/// Runs one experiment by id, returning its report text.
+///
+/// # Panics
+///
+/// Panics on an unknown id — the binary validates ids first via
+/// [`catalog`].
+pub fn run(id: &str, harness: &mut Harness) -> String {
+    match id {
+        "e1" => non_adaptive::e1_step_complexity(harness),
+        "e2" => non_adaptive::e2_total_steps(harness),
+        "e3" => non_adaptive::e3_batch_survivors(harness),
+        "e4" => non_adaptive::e4_backup_rate(harness),
+        "e5" => adaptive::e5_adaptive_steps(harness),
+        "e6" => adaptive::e6_fast_adaptive(harness),
+        "e7" => lower_bound::e7_layers(harness),
+        "e8" => lower_bound::e8_lemma_6_5(harness),
+        "e9" => lower_bound::e9_lemma_6_6(harness),
+        "e10" => comparisons::e10_crossover(harness),
+        "e11" => comparisons::e11_adversaries(harness),
+        "e12" => robustness::e12_crashes(harness),
+        "e13" => robustness::e13_epsilon(harness),
+        "e14" => robustness::e14_rw_tas(harness),
+        "a1" => ablations::a1_geometry(harness),
+        "a2" => ablations::a2_t0(harness),
+        other => panic!("unknown experiment id `{other}`"),
+    }
+}
+
+/// Formats the standard report header.
+pub(crate) fn header(id: &str, claim: &str) -> String {
+    format!("== {} — {}\n", id.to_uppercase(), claim)
+}
+
+/// Formats the standard verdict line.
+pub(crate) fn verdict(pass: bool, detail: &str) -> String {
+    format!("[{}] {}\n", if pass { "PASS" } else { "FAIL" }, detail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_ids_are_unique_and_runnable_names() {
+        let cat = catalog();
+        let mut ids: Vec<&str> = cat.iter().map(|e| e.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        assert_eq!(before, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_id_panics() {
+        let mut h = Harness::new(true, 0);
+        run("zz", &mut h);
+    }
+
+    #[test]
+    fn header_and_verdict_formats() {
+        assert!(header("e1", "claim").starts_with("== E1"));
+        assert!(verdict(true, "ok").starts_with("[PASS]"));
+        assert!(verdict(false, "bad").starts_with("[FAIL]"));
+    }
+}

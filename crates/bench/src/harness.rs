@@ -1,0 +1,183 @@
+//! Shared experiment plumbing: sweep sizes, trial execution, records.
+
+use std::sync::Arc;
+
+use serde_json::Value;
+
+use renaming_analysis::ExperimentRecord;
+use renaming_core::{AdaptiveLayout, BatchLayout, Epsilon, ProbeSchedule, DEFAULT_BETA};
+use renaming_sim::adversary::Adversary;
+use renaming_sim::{Execution, ExecutionReport, Renamer};
+
+/// Shared context threaded through every experiment: sweep sizes, trial
+/// counts, the base RNG seed, and the collected JSON records.
+#[derive(Debug)]
+pub struct Harness {
+    quick: bool,
+    seed: u64,
+    records: Vec<ExperimentRecord>,
+}
+
+impl Harness {
+    /// Creates a harness. `quick` shrinks sweeps and trial counts to
+    /// CI-friendly sizes; the full mode is what `EXPERIMENTS.md` records.
+    pub fn new(quick: bool, seed: u64) -> Self {
+        Self {
+            quick,
+            seed,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether the harness runs in quick mode.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The base seed; experiments derive per-trial seeds from it.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The non-adaptive sweep sizes `n`.
+    pub fn n_sweep(&self) -> Vec<usize> {
+        if self.quick {
+            renaming_analysis::axis::powers_of_two(6, 12)
+        } else {
+            renaming_analysis::axis::powers_of_two(6, 17)
+        }
+    }
+
+    /// The adaptive sweep contentions `k`.
+    pub fn k_sweep(&self) -> Vec<usize> {
+        if self.quick {
+            renaming_analysis::axis::powers_of_two(1, 9)
+        } else {
+            renaming_analysis::axis::powers_of_two(1, 13)
+        }
+    }
+
+    /// Trials per sweep point, scaled down for the largest sizes.
+    pub fn trials_for(&self, n: usize) -> usize {
+        let base = if self.quick { 5 } else { 20 };
+        if n >= 1 << 16 {
+            base / 4
+        } else if n >= 1 << 14 {
+            base / 2
+        } else {
+            base
+        }
+        .max(3)
+    }
+
+    /// Records a JSON data point.
+    pub fn record(&mut self, experiment: &str, params: Value, metrics: Value) {
+        self.records
+            .push(ExperimentRecord::new(experiment, params, metrics));
+    }
+
+    /// The collected records.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// Serializes all records as JSON lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_records<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        for r in &self.records {
+            r.write_jsonl(&mut w)?;
+        }
+        Ok(())
+    }
+}
+
+/// The paper-default probe schedule (`ε = 1`, `β = 3`).
+pub fn paper_schedule() -> ProbeSchedule {
+    ProbeSchedule::paper(Epsilon::one(), DEFAULT_BETA).expect("paper defaults are valid")
+}
+
+/// A shared ReBatching layout for `n` processes with the paper defaults.
+pub fn paper_layout(n: usize) -> Arc<BatchLayout> {
+    BatchLayout::shared(n, paper_schedule()).expect("layout for valid n")
+}
+
+/// A shared adaptive layout for capacity `n` with the paper defaults.
+pub fn adaptive_layout(capacity: usize) -> Arc<AdaptiveLayout> {
+    Arc::new(AdaptiveLayout::for_capacity(capacity, paper_schedule()).expect("valid capacity"))
+}
+
+/// Runs one simulated execution of `count` machines built by `factory`
+/// over `memory` locations under `adversary`.
+///
+/// # Panics
+///
+/// Panics if the execution reports a safety violation — experiments treat
+/// that as a hard bug, never as data.
+pub fn run_execution<F>(
+    memory: usize,
+    count: usize,
+    adversary: Box<dyn Adversary>,
+    seed: u64,
+    factory: F,
+) -> ExecutionReport
+where
+    F: Fn() -> Box<dyn Renamer>,
+{
+    let machines: Vec<Box<dyn Renamer>> = (0..count).map(|_| factory()).collect();
+    Execution::new(memory)
+        .adversary(adversary)
+        .seed(seed)
+        .run(machines)
+        .expect("safety violation in experiment run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renaming_core::RebatchingMachine;
+    use renaming_sim::adversary::RoundRobin;
+    use serde_json::json;
+
+    #[test]
+    fn quick_mode_shrinks_sweeps() {
+        let quick = Harness::new(true, 0);
+        let full = Harness::new(false, 0);
+        assert!(quick.n_sweep().len() < full.n_sweep().len());
+        assert!(quick.trials_for(64) < full.trials_for(64));
+        assert!(quick.quick());
+        assert_eq!(quick.seed(), 0);
+    }
+
+    #[test]
+    fn trials_scale_down_for_large_n() {
+        let h = Harness::new(false, 0);
+        assert!(h.trials_for(1 << 17) < h.trials_for(1 << 8));
+        assert!(h.trials_for(1 << 17) >= 3);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let mut h = Harness::new(true, 1);
+        h.record("e1", json!({"n": 8}), json!({"max": 3}));
+        let mut buf = Vec::new();
+        h.write_records(&mut buf).expect("write");
+        assert_eq!(h.records().len(), 1);
+        assert!(String::from_utf8(buf).unwrap().contains("\"e1\""));
+    }
+
+    #[test]
+    fn run_execution_produces_full_report() {
+        let layout = paper_layout(32);
+        let report = run_execution(
+            layout.namespace_size(),
+            32,
+            Box::new(RoundRobin::new()),
+            7,
+            || Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)),
+        );
+        assert_eq!(report.named_count(), 32);
+    }
+}

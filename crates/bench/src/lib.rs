@@ -1,0 +1,22 @@
+//! Experiment harness reproducing every quantitative claim of the paper.
+//!
+//! The paper is a theory paper; its "evaluation" is a set of theorems and
+//! lemmas. `DESIGN.md` §5 maps each to an experiment id (E1–E14, A1–A2);
+//! this crate implements them, prints one table per claim, and emits
+//! machine-readable JSON-lines records. `EXPERIMENTS.md` pastes the
+//! resulting tables next to the paper's claims.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p renaming-bench --release --bin experiments -- all
+//! cargo run -p renaming-bench --release --bin experiments -- e1 e7 --quick
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod experiments;
+mod harness;
+
+pub use harness::Harness;

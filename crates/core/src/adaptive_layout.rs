@@ -1,0 +1,263 @@
+//! Global layout of the adaptive algorithms' object collection
+//! `R_1, R_2, ...` (§5): object `R_i` is a ReBatching object for
+//! `n_i = 2^i` processes.
+
+use std::sync::Arc;
+
+use crate::{BatchLayout, ProbeSchedule, RenamingError};
+
+/// The collection `R_1 .. R_L` of ReBatching objects used by
+/// `AdaptiveReBatching` (§5.1) and `FastAdaptiveReBatching` (§5.2), packed
+/// consecutively into one shared array.
+///
+/// The paper presents the algorithms with an unbounded collection; when the
+/// system bound `n` is known it notes that the first `2^(ceil(log n)+1)`
+/// TAS objects suffice. We therefore cap the collection at paper index
+/// `L = ceil(log2 n) + 1` (so `n_L >= 2n`), which keeps total space `O(n)`.
+///
+/// The doubling ("race") phase visits the *landmarks* `R_1, R_2, R_4, ...`
+/// and finally `R_L` (when `L` is not itself a power of two) — see
+/// [`landmarks`](Self::landmarks).
+///
+/// # Example
+///
+/// ```
+/// use renaming_core::{AdaptiveLayout, Epsilon, ProbeSchedule};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schedule = ProbeSchedule::paper(Epsilon::one(), 3)?;
+/// let layout = AdaptiveLayout::for_capacity(1000, schedule)?;
+/// assert_eq!(layout.max_index(), 11); // ceil(log2 1000) + 1
+/// assert_eq!(layout.landmarks(), &[1, 2, 4, 8, 11]);
+/// // Object i hosts 2^i processes.
+/// assert_eq!(layout.object(5).capacity(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveLayout {
+    schedule: ProbeSchedule,
+    /// `objects[idx]` is the layout of `R_(idx+1)`.
+    objects: Vec<Arc<BatchLayout>>,
+    /// `bases[idx]` is the global offset of `R_(idx+1)`; a final entry
+    /// holds the total size.
+    bases: Vec<usize>,
+    /// Doubling-phase object indices: `1, 2, 4, ..., L`.
+    landmarks: Vec<usize>,
+}
+
+impl AdaptiveLayout {
+    /// Builds the collection sized for up to `capacity` processes
+    /// (`L = ceil(log2 capacity) + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors; requires `capacity >= 2`.
+    pub fn for_capacity(capacity: usize, schedule: ProbeSchedule) -> Result<Self, RenamingError> {
+        if capacity < 2 {
+            return Err(RenamingError::TooFewProcesses {
+                n: capacity,
+                min: 2,
+            });
+        }
+        let log2n = (capacity as f64).log2().ceil() as usize;
+        Self::with_max_index(log2n + 1, schedule)
+    }
+
+    /// Builds the collection with an explicit top index `L` (paper index of
+    /// the largest object, `n_L = 2^L`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::TooFewProcesses`] if `max_index == 0`.
+    pub fn with_max_index(max_index: usize, schedule: ProbeSchedule) -> Result<Self, RenamingError> {
+        if max_index == 0 {
+            return Err(RenamingError::TooFewProcesses { n: 0, min: 1 });
+        }
+        let mut objects = Vec::with_capacity(max_index);
+        let mut bases = Vec::with_capacity(max_index + 1);
+        let mut acc = 0usize;
+        for i in 1..=max_index {
+            let layout = BatchLayout::shared(1usize << i, schedule)?;
+            bases.push(acc);
+            acc += layout.namespace_size();
+            objects.push(layout);
+        }
+        bases.push(acc);
+        let mut landmarks: Vec<usize> = Vec::new();
+        let mut l = 1usize;
+        while l <= max_index {
+            landmarks.push(l);
+            l *= 2;
+        }
+        if *landmarks.last().expect("nonempty") != max_index {
+            landmarks.push(max_index);
+        }
+        Ok(Self {
+            schedule,
+            objects,
+            bases,
+            landmarks,
+        })
+    }
+
+    /// The probe schedule shared by every object.
+    pub fn schedule(&self) -> &ProbeSchedule {
+        &self.schedule
+    }
+
+    /// The top (largest) paper object index `L`.
+    pub fn max_index(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The layout of object `R_i` (paper index, `1..=max_index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn object(&self, i: usize) -> &Arc<BatchLayout> {
+        assert!(
+            (1..=self.max_index()).contains(&i),
+            "object index {i} out of 1..={}",
+            self.max_index()
+        );
+        &self.objects[i - 1]
+    }
+
+    /// The global offset of `R_i`'s namespace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn base(&self, i: usize) -> usize {
+        assert!(
+            (1..=self.max_index()).contains(&i),
+            "object index {i} out of 1..={}",
+            self.max_index()
+        );
+        self.bases[i - 1]
+    }
+
+    /// Total TAS locations across all objects.
+    pub fn total_size(&self) -> usize {
+        *self.bases.last().expect("bases nonempty")
+    }
+
+    /// Maps a global name back to the paper index of the object holding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name >= total_size()`.
+    pub fn object_of_name(&self, name: usize) -> usize {
+        assert!(
+            name < self.total_size(),
+            "name {name} outside the global namespace of {} locations",
+            self.total_size()
+        );
+        match self.bases.binary_search(&name) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx, // idx-1 in 0-based object slots, +1 for paper index
+        }
+    }
+
+    /// The doubling-phase object indices `1, 2, 4, ..., L`.
+    pub fn landmarks(&self) -> &[usize] {
+        &self.landmarks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Epsilon;
+
+    fn layout(capacity: usize) -> AdaptiveLayout {
+        let s = ProbeSchedule::paper(Epsilon::one(), 3).unwrap();
+        AdaptiveLayout::for_capacity(capacity, s).unwrap()
+    }
+
+    #[test]
+    fn capacity_sets_max_index() {
+        assert_eq!(layout(2).max_index(), 2);
+        assert_eq!(layout(1000).max_index(), 11);
+        assert_eq!(layout(1024).max_index(), 11);
+        assert_eq!(layout(1025).max_index(), 12);
+    }
+
+    #[test]
+    fn objects_double_in_capacity() {
+        let l = layout(256);
+        for i in 1..=l.max_index() {
+            assert_eq!(l.object(i).capacity(), 1 << i, "object {i}");
+        }
+    }
+
+    #[test]
+    fn bases_are_disjoint_and_cover() {
+        let l = layout(128);
+        let mut acc = 0;
+        for i in 1..=l.max_index() {
+            assert_eq!(l.base(i), acc);
+            acc += l.object(i).namespace_size();
+        }
+        assert_eq!(l.total_size(), acc);
+    }
+
+    #[test]
+    fn total_space_is_linear_in_capacity() {
+        // Σ m_i ≈ 2 * (1+ε) * 2^L ≤ 8(1+ε)n — the O(n) bound of §5.
+        for n in [64usize, 1024, 1 << 14] {
+            let l = layout(n);
+            assert!(
+                l.total_size() <= 8 * 2 * n + 64,
+                "n = {n}: total {} too large",
+                l.total_size()
+            );
+        }
+    }
+
+    #[test]
+    fn landmark_sequences() {
+        assert_eq!(layout(1000).landmarks(), &[1, 2, 4, 8, 11]);
+        assert_eq!(layout(2).landmarks(), &[1, 2]);
+        // L = 9 for n = 200.
+        assert_eq!(layout(200).landmarks(), &[1, 2, 4, 8, 9]);
+        // L a power of two: no duplicate tail.
+        let s = ProbeSchedule::paper(Epsilon::one(), 3).unwrap();
+        let l8 = AdaptiveLayout::with_max_index(8, s).unwrap();
+        assert_eq!(l8.landmarks(), &[1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn object_of_name_roundtrip() {
+        let l = layout(300);
+        for i in 1..=l.max_index() {
+            let base = l.base(i);
+            let size = l.object(i).namespace_size();
+            for name in [base, base + size / 2, base + size - 1] {
+                assert_eq!(l.object_of_name(name), i, "name {name}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn object_of_name_out_of_range_panics() {
+        let l = layout(16);
+        l.object_of_name(l.total_size());
+    }
+
+    #[test]
+    #[should_panic]
+    fn object_index_zero_panics() {
+        layout(16).object(0);
+    }
+
+    #[test]
+    fn rejects_tiny_capacity() {
+        let s = ProbeSchedule::paper(Epsilon::one(), 3).unwrap();
+        assert!(AdaptiveLayout::for_capacity(1, s).is_err());
+        assert!(AdaptiveLayout::with_max_index(0, s).is_err());
+    }
+}

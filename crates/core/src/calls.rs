@@ -1,0 +1,368 @@
+//! Reusable probe sub-machines: `TryGetName` on one batch, and a full
+//! backup-free `GetName` pass over one object.
+//!
+//! These are the building blocks all three algorithms compose:
+//!
+//! * [`BatchCall`] — the paper's `TryGetName(i)` (Fig. 1 lines 9–13):
+//!   up to `t_i` uniformly random probes inside batch `B_i`.
+//! * [`ObjectCall`] — a `GetName` pass (Fig. 1 lines 1–7): `TryGetName(i)`
+//!   for `i = 0..=κ`, optionally followed by the sequential backup phase.
+//!
+//! Both are *pull*-style state machines mirroring [`renaming_sim::Renamer`]
+//! but returning a tri-state outcome so composite machines (the adaptive
+//! algorithms) can react to exhaustion.
+
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
+
+use crate::BatchLayout;
+
+/// Progress of a sub-call after observing a probe outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallStatus {
+    /// More probes to go; ask for the next location.
+    InProgress,
+    /// Won a TAS: the process owns this (global) location.
+    Acquired(usize),
+    /// All probes spent without a win (the paper's `-1` return).
+    Exhausted,
+}
+
+/// The paper's `TryGetName(i)`: at most `t_i` independent uniformly random
+/// probes in batch `i` of one ReBatching object.
+#[derive(Debug, Clone)]
+pub struct BatchCall {
+    layout: Arc<BatchLayout>,
+    /// Global offset of the object inside the shared memory.
+    base: usize,
+    batch: usize,
+    budget: usize,
+    used: usize,
+    last_location: usize,
+}
+
+impl BatchCall {
+    /// Starts a `TryGetName(batch)` call on the object at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is out of range for the layout.
+    pub fn new(layout: Arc<BatchLayout>, base: usize, batch: usize) -> Self {
+        let budget = layout.probes(batch); // panics on bad batch
+        Self {
+            layout,
+            base,
+            batch,
+            budget,
+            used: 0,
+            last_location: 0,
+        }
+    }
+
+    /// The batch being probed.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Probes already performed.
+    pub fn probes_used(&self) -> usize {
+        self.used
+    }
+
+    /// Chooses the next probe location (flipping coins from `rng`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call is already exhausted — composite machines must
+    /// check [`CallStatus`] from [`observe`](Self::observe).
+    pub fn propose(&mut self, rng: &mut dyn RngCore) -> usize {
+        assert!(self.used < self.budget, "batch call already exhausted");
+        let slot = rng.gen_range(0..self.layout.batch_size(self.batch));
+        self.last_location = self.base + self.layout.location(self.batch, slot);
+        self.last_location
+    }
+
+    /// Records the probe outcome.
+    pub fn observe(&mut self, won: bool) -> CallStatus {
+        if won {
+            return CallStatus::Acquired(self.last_location);
+        }
+        self.used += 1;
+        if self.used < self.budget {
+            CallStatus::InProgress
+        } else {
+            CallStatus::Exhausted
+        }
+    }
+}
+
+/// A full `GetName` pass over one object: `TryGetName(i)` for
+/// `i = 0, 1, ..., κ`, then (if enabled) the backup scan over the whole
+/// namespace (Fig. 1 lines 5–7).
+#[derive(Debug, Clone)]
+pub struct ObjectCall {
+    layout: Arc<BatchLayout>,
+    base: usize,
+    backup: bool,
+    state: ObjectState,
+    /// Deepest batch index started (Lemma 4.2 diagnostics).
+    deepest_batch: usize,
+    /// Whether the backup phase was entered.
+    entered_backup: bool,
+    probes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum ObjectState {
+    Batch(BatchCall),
+    Backup { next: usize },
+    Finished,
+}
+
+impl ObjectCall {
+    /// Starts a backup-free `GetName` (the modified objects of §5.1).
+    pub fn new(layout: Arc<BatchLayout>, base: usize) -> Self {
+        Self::with_backup_flag(layout, base, false)
+    }
+
+    /// Starts a full `GetName` including the backup phase (Fig. 1).
+    pub fn with_backup(layout: Arc<BatchLayout>, base: usize) -> Self {
+        Self::with_backup_flag(layout, base, true)
+    }
+
+    fn with_backup_flag(layout: Arc<BatchLayout>, base: usize, backup: bool) -> Self {
+        let first = BatchCall::new(Arc::clone(&layout), base, 0);
+        Self {
+            layout,
+            base,
+            backup,
+            state: ObjectState::Batch(first),
+            deepest_batch: 0,
+            entered_backup: false,
+            probes: 0,
+        }
+    }
+
+    /// Deepest batch index started so far.
+    pub fn deepest_batch(&self) -> usize {
+        self.deepest_batch
+    }
+
+    /// Whether the backup phase was entered.
+    pub fn entered_backup(&self) -> bool {
+        self.entered_backup
+    }
+
+    /// Probes performed so far in this call.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Chooses the next probe location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call already finished.
+    pub fn propose(&mut self, rng: &mut dyn RngCore) -> usize {
+        match &mut self.state {
+            ObjectState::Batch(call) => call.propose(rng),
+            ObjectState::Backup { next } => self.base + *next,
+            ObjectState::Finished => panic!("object call already finished"),
+        }
+    }
+
+    /// Records the probe outcome and advances the pass.
+    pub fn observe(&mut self, won: bool) -> CallStatus {
+        self.probes += 1;
+        match &mut self.state {
+            ObjectState::Batch(call) => match call.observe(won) {
+                CallStatus::Acquired(loc) => {
+                    self.state = ObjectState::Finished;
+                    CallStatus::Acquired(loc)
+                }
+                CallStatus::InProgress => CallStatus::InProgress,
+                CallStatus::Exhausted => {
+                    let next_batch = call.batch() + 1;
+                    if next_batch < self.layout.batch_count() {
+                        self.deepest_batch = next_batch;
+                        self.state = ObjectState::Batch(BatchCall::new(
+                            Arc::clone(&self.layout),
+                            self.base,
+                            next_batch,
+                        ));
+                        CallStatus::InProgress
+                    } else if self.backup {
+                        self.entered_backup = true;
+                        self.state = ObjectState::Backup { next: 0 };
+                        CallStatus::InProgress
+                    } else {
+                        self.state = ObjectState::Finished;
+                        CallStatus::Exhausted
+                    }
+                }
+            },
+            ObjectState::Backup { next } => {
+                if won {
+                    let loc = self.base + *next;
+                    self.state = ObjectState::Finished;
+                    CallStatus::Acquired(loc)
+                } else {
+                    *next += 1;
+                    if *next < self.layout.namespace_size() {
+                        CallStatus::InProgress
+                    } else {
+                        self.state = ObjectState::Finished;
+                        CallStatus::Exhausted
+                    }
+                }
+            }
+            ObjectState::Finished => panic!("observe after object call finished"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Epsilon, ProbeSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout(n: usize) -> Arc<BatchLayout> {
+        let s = ProbeSchedule::tuned(Epsilon::one(), 2, 3).unwrap();
+        BatchLayout::shared(n, s).unwrap()
+    }
+
+    #[test]
+    fn batch_call_probes_inside_its_batch() {
+        let l = layout(64);
+        let mut rng = StdRng::seed_from_u64(0);
+        for batch in 0..l.batch_count() {
+            let mut call = BatchCall::new(Arc::clone(&l), 100, batch);
+            let loc = call.propose(&mut rng);
+            let lo = 100 + l.batch_offset(batch);
+            let hi = lo + l.batch_size(batch);
+            assert!((lo..hi).contains(&loc), "batch {batch}: {loc} not in [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn batch_call_budget_respected() {
+        let l = layout(64); // t0 = 3 (tuned)
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut call = BatchCall::new(Arc::clone(&l), 0, 0);
+        call.propose(&mut rng);
+        assert_eq!(call.observe(false), CallStatus::InProgress);
+        call.propose(&mut rng);
+        assert_eq!(call.observe(false), CallStatus::InProgress);
+        call.propose(&mut rng);
+        assert_eq!(call.observe(false), CallStatus::Exhausted);
+        assert_eq!(call.probes_used(), 3);
+    }
+
+    #[test]
+    fn batch_call_win_reports_location() {
+        let l = layout(64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut call = BatchCall::new(Arc::clone(&l), 10, 1);
+        let loc = call.propose(&mut rng);
+        assert_eq!(call.observe(true), CallStatus::Acquired(loc));
+    }
+
+    #[test]
+    #[should_panic]
+    fn batch_call_propose_after_exhaustion_panics() {
+        let l = layout(64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut call = BatchCall::new(Arc::clone(&l), 0, 1); // middle batch: 1 probe
+        call.propose(&mut rng);
+        assert_eq!(call.observe(false), CallStatus::Exhausted);
+        call.propose(&mut rng);
+    }
+
+    #[test]
+    fn object_call_walks_batches_then_exhausts_without_backup() {
+        let l = layout(64); // t0=3, middles=1, beta=2; κ = 3 for n=64
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut call = ObjectCall::new(Arc::clone(&l), 0);
+        let total: usize = l.max_probes();
+        let mut outcomes = 0;
+        loop {
+            let _ = call.propose(&mut rng);
+            outcomes += 1;
+            match call.observe(false) {
+                CallStatus::InProgress => continue,
+                CallStatus::Exhausted => break,
+                CallStatus::Acquired(_) => unreachable!("all probes forced to lose"),
+            }
+        }
+        assert_eq!(outcomes, total);
+        assert_eq!(call.deepest_batch(), l.kappa());
+        assert!(!call.entered_backup());
+        assert_eq!(call.probes(), total as u64);
+    }
+
+    #[test]
+    fn object_call_backup_scans_sequentially() {
+        let l = layout(4); // tiny: batch area small
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut call = ObjectCall::with_backup(Arc::clone(&l), 7);
+        // Force every batch probe to lose.
+        loop {
+            let _ = call.propose(&mut rng);
+            if call.entered_backup() {
+                break;
+            }
+            match call.observe(false) {
+                CallStatus::InProgress | CallStatus::Exhausted => {
+                    if call.entered_backup() {
+                        break;
+                    }
+                }
+                CallStatus::Acquired(_) => unreachable!(),
+            }
+        }
+        // Now in backup: the scan starts at base + 0 and walks up.
+        let first = call.propose(&mut rng);
+        assert_eq!(first, 7);
+        assert_eq!(call.observe(false), CallStatus::InProgress);
+        let second = call.propose(&mut rng);
+        assert_eq!(second, 8);
+        // Winning in backup acquires that location.
+        assert_eq!(call.observe(true), CallStatus::Acquired(8));
+    }
+
+    #[test]
+    fn object_call_backup_exhausts_whole_namespace() {
+        let l = layout(4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut call = ObjectCall::with_backup(Arc::clone(&l), 0);
+        let mut probes = 0;
+        loop {
+            let _ = call.propose(&mut rng);
+            probes += 1;
+            match call.observe(false) {
+                CallStatus::InProgress => continue,
+                CallStatus::Exhausted => break,
+                CallStatus::Acquired(_) => unreachable!(),
+            }
+        }
+        assert_eq!(probes, l.max_probes() + l.namespace_size());
+        assert!(call.entered_backup());
+    }
+
+    #[test]
+    fn deepest_batch_tracks_progress() {
+        let l = layout(64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut call = ObjectCall::new(Arc::clone(&l), 0);
+        assert_eq!(call.deepest_batch(), 0);
+        // Exhaust batch 0 (3 tuned probes).
+        for _ in 0..3 {
+            call.propose(&mut rng);
+            call.observe(false);
+        }
+        assert_eq!(call.deepest_batch(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Drives a step machine against real hardware TAS slots.
+//!
+//! This is the bridge between the simulation model and the concurrent
+//! world: the *same* [`Renamer`] state machines that the simulator
+//! schedules step-by-step are executed here as a tight loop on the calling
+//! thread, with each proposed probe hitting a real [`TasArray`] slot. Since
+//! all algorithm logic lives in the machines, the simulated and threaded
+//! implementations cannot drift apart.
+
+use rand::Rng;
+
+use renaming_sim::{Action, Name, Renamer};
+use renaming_tas::{Tas, TasArray};
+
+use crate::RenamingError;
+
+/// Runs `machine` to completion against `slots`, drawing coins from `rng`.
+///
+/// # Errors
+///
+/// Returns [`RenamingError::NamespaceExhausted`] if the machine gives up
+/// (more callers than the namespace can hold).
+///
+/// # Panics
+///
+/// Panics if the machine proposes a probe outside `slots` — that is a bug
+/// in the machine, not a runtime condition.
+pub fn drive<M, T, R>(machine: &mut M, slots: &TasArray<T>, rng: &mut R) -> Result<Name, RenamingError>
+where
+    M: Renamer + ?Sized,
+    T: Tas,
+    R: Rng,
+{
+    loop {
+        match machine.propose(rng) {
+            Action::Probe(location) => {
+                assert!(
+                    location < slots.len(),
+                    "machine probed location {location} outside the {}-slot array",
+                    slots.len()
+                );
+                let won = slots.test_and_set(location).won();
+                machine.observe(won);
+            }
+            Action::Done(name) => return Ok(name),
+            Action::Stuck => {
+                return Err(RenamingError::NamespaceExhausted {
+                    namespace: slots.len(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use renaming_tas::AtomicTas;
+
+    struct Scan {
+        next: usize,
+        won: Option<Name>,
+        give_up_at: usize,
+    }
+
+    impl Renamer for Scan {
+        fn propose(&mut self, _rng: &mut dyn RngCore) -> Action {
+            match self.won {
+                Some(name) => Action::Done(name),
+                None if self.next >= self.give_up_at => Action::Stuck,
+                None => Action::Probe(self.next),
+            }
+        }
+        fn observe(&mut self, won: bool) {
+            if won {
+                self.won = Some(Name::new(self.next));
+            } else {
+                self.next += 1;
+            }
+        }
+        fn name(&self) -> Option<Name> {
+            self.won
+        }
+    }
+
+    #[test]
+    fn drives_machine_to_a_name() {
+        let slots: TasArray<AtomicTas> = TasArray::new(4);
+        slots.test_and_set(0);
+        slots.test_and_set(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut machine = Scan {
+            next: 0,
+            won: None,
+            give_up_at: 4,
+        };
+        let name = drive(&mut machine, &slots, &mut rng).expect("finds slot 2");
+        assert_eq!(name.value(), 2);
+    }
+
+    #[test]
+    fn stuck_machine_surfaces_error() {
+        let slots: TasArray<AtomicTas> = TasArray::new(2);
+        slots.test_and_set(0);
+        slots.test_and_set(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut machine = Scan {
+            next: 0,
+            won: None,
+            give_up_at: 2,
+        };
+        let err = drive(&mut machine, &slots, &mut rng).unwrap_err();
+        assert_eq!(err, RenamingError::NamespaceExhausted { namespace: 2 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_probe_panics() {
+        let slots: TasArray<AtomicTas> = TasArray::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut machine = Scan {
+            next: 5,
+            won: None,
+            give_up_at: 10,
+        };
+        let _ = drive(&mut machine, &slots, &mut rng);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the renaming algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failures surfaced by the renaming algorithms' public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RenamingError {
+    /// The namespace slack parameter was not a positive finite number.
+    InvalidEpsilon(f64),
+    /// The backup probe count `beta` (Eq. 2's `t_kappa`) must be at least 1.
+    InvalidBeta(usize),
+    /// The algorithm needs at least this many processes to be meaningful.
+    TooFewProcesses {
+        /// The `n` the caller supplied.
+        n: usize,
+        /// The smallest supported value.
+        min: usize,
+    },
+    /// A `get_name` call found every location taken: the object was used by
+    /// more processes than the capacity it was constructed for.
+    NamespaceExhausted {
+        /// The namespace size of the object.
+        namespace: usize,
+    },
+}
+
+impl fmt::Display for RenamingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenamingError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be a positive finite number, got {e}")
+            }
+            RenamingError::InvalidBeta(b) => write!(f, "beta must be at least 1, got {b}"),
+            RenamingError::TooFewProcesses { n, min } => {
+                write!(f, "at least {min} processes are required, got {n}")
+            }
+            RenamingError::NamespaceExhausted { namespace } => write!(
+                f,
+                "all {namespace} names taken: more processes than the object's capacity"
+            ),
+        }
+    }
+}
+
+impl Error for RenamingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(RenamingError::InvalidEpsilon(-1.0)
+            .to_string()
+            .contains("-1"));
+        assert!(RenamingError::InvalidBeta(0).to_string().contains('0'));
+        assert!(RenamingError::TooFewProcesses { n: 1, min: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(RenamingError::NamespaceExhausted { namespace: 8 }
+            .to_string()
+            .contains('8'));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn assert_error<E: Error>(_: E) {}
+        assert_error(RenamingError::InvalidBeta(0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests of the batch geometry (Eq. 1) and probe schedule
+//! (Eq. 2) across the full parameter space.
+
+use proptest::prelude::*;
+
+use renaming_core::{AdaptiveLayout, BatchLayout, Epsilon, ProbeSchedule};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn eq1_geometry_invariants(n in 2usize..100_000, eps_mil in 10usize..8_000, beta in 1usize..6) {
+        let eps = Epsilon::new(eps_mil as f64 / 1000.0).expect("valid");
+        let schedule = ProbeSchedule::paper(eps, beta).expect("valid");
+        let layout = BatchLayout::new(n, schedule).expect("layout");
+
+        // Batch 0 holds exactly n locations.
+        prop_assert_eq!(layout.batch_size(0), n);
+        // Later batches follow ceil(eps*n/2^i) and never vanish.
+        for i in 1..=layout.kappa() {
+            let expected = ((eps.value() * n as f64) / f64::powi(2.0, i as i32)).ceil() as usize;
+            prop_assert_eq!(layout.batch_size(i), expected.max(1), "batch {}", i);
+        }
+        // Offsets tile the batch area without gaps.
+        let mut acc = 0usize;
+        for i in 0..layout.batch_count() {
+            prop_assert_eq!(layout.batch_offset(i), acc);
+            acc += layout.batch_size(i);
+        }
+        prop_assert_eq!(acc, layout.batch_area());
+        // Namespace dominates both the (1+eps)n promise and the batches.
+        prop_assert!(layout.namespace_size() >= layout.batch_area());
+        prop_assert!(
+            layout.namespace_size() >= ((1.0 + eps.value()) * n as f64).ceil() as usize
+        );
+        // For comfortably large n the batches fit inside (1+eps)n exactly
+        // as the paper computes (no slack beyond the ceiling).
+        if n >= 4096 && eps.value() >= 0.1 {
+            prop_assert_eq!(
+                layout.namespace_size(),
+                ((1.0 + eps.value()) * n as f64).ceil() as usize
+            );
+        }
+    }
+
+    #[test]
+    fn eq2_probe_schedule_invariants(n in 2usize..100_000, beta in 1usize..6) {
+        let schedule = ProbeSchedule::paper(Epsilon::one(), beta).expect("valid");
+        let layout = BatchLayout::new(n, schedule).expect("layout");
+        let kappa = layout.kappa();
+        prop_assert_eq!(layout.probes(0), schedule.t0().max(if kappa == 0 { beta } else { 0 }));
+        for i in 1..kappa {
+            prop_assert_eq!(layout.probes(i), 1, "middle batch {}", i);
+        }
+        if kappa >= 1 {
+            prop_assert_eq!(layout.probes(kappa), beta);
+        }
+        // The non-backup step bound of Theorem 4.1.
+        let expected_budget = schedule.t0() + kappa.saturating_sub(1) + beta;
+        prop_assert_eq!(layout.max_probes(), expected_budget);
+    }
+
+    #[test]
+    fn kappa_is_ceil_log_log(n_exp in 2u32..40) {
+        let n = 1usize << n_exp;
+        let layout = BatchLayout::new(
+            n,
+            ProbeSchedule::paper(Epsilon::one(), 3).expect("valid"),
+        )
+        .expect("layout");
+        let expected = (n_exp as f64).log2().ceil().max(1.0) as usize;
+        prop_assert_eq!(layout.kappa(), expected);
+    }
+
+    #[test]
+    fn locate_is_inverse_of_location(n in 2usize..50_000, probe in any::<u64>()) {
+        let layout = BatchLayout::new(
+            n,
+            ProbeSchedule::paper(Epsilon::one(), 3).expect("valid"),
+        )
+        .expect("layout");
+        let target = (probe as usize) % layout.batch_area();
+        let (batch, slot) = layout.locate(target).expect("inside batch area");
+        prop_assert_eq!(layout.location(batch, slot), target);
+        prop_assert!(slot < layout.batch_size(batch));
+    }
+
+    #[test]
+    fn adaptive_layout_space_is_linear(capacity in 2usize..1_000_000) {
+        let layout = AdaptiveLayout::for_capacity(
+            capacity,
+            ProbeSchedule::paper(Epsilon::one(), 3).expect("valid"),
+        )
+        .expect("layout");
+        // Sum of geometric object sizes: <= 8(1+eps)·capacity + constant.
+        prop_assert!(
+            layout.total_size() <= 16 * capacity + 64,
+            "total {} for capacity {}",
+            layout.total_size(),
+            capacity
+        );
+        // Landmarks start at R_1, end at the top object, strictly increase.
+        let landmarks = layout.landmarks();
+        prop_assert_eq!(landmarks[0], 1);
+        prop_assert_eq!(*landmarks.last().unwrap(), layout.max_index());
+        prop_assert!(landmarks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn adaptive_object_of_name_total(capacity in 2usize..10_000, probe in any::<u64>()) {
+        let layout = AdaptiveLayout::for_capacity(
+            capacity,
+            ProbeSchedule::paper(Epsilon::one(), 3).expect("valid"),
+        )
+        .expect("layout");
+        let name = (probe as usize) % layout.total_size();
+        let i = layout.object_of_name(name);
+        prop_assert!((1..=layout.max_index()).contains(&i));
+        prop_assert!(name >= layout.base(i));
+        prop_assert!(name < layout.base(i) + layout.object(i).namespace_size());
+    }
+}

@@ -1,0 +1,194 @@
+//! The coupling gadget of Lemmas 6.4–6.5.
+//!
+//! For `Z ~ Pois(λ)` the paper couples a second variable
+//! `Y ~ Pois(γ)` with `γ = min(λ²/4, λ/4)` such that
+//! `Y <= max(0, Z - 1)` *always*. Lemma 6.5 — the cdf domination
+//! `P_λ(n+1) <= P_γ(n)` for all `n` — makes the quantile coupling work:
+//! drawing both variables from one uniform `u` (i.e. `Z = Q_λ(u)`,
+//! `Y = Q_γ(u)`) realizes the almost-sure inequality.
+
+use rand::Rng;
+
+use crate::Poisson;
+
+/// The coupled rate `γ = min(λ²/4, λ/4)` of Lemma 6.5.
+pub fn coupled_rate(lambda: f64) -> f64 {
+    (lambda * lambda / 4.0).min(lambda / 4.0)
+}
+
+/// A quantile-coupled pair `(Z, Y)` with `Z ~ Pois(λ)`, `Y ~ Pois(γ)` and
+/// `Y <= max(0, Z - 1)` in every draw.
+///
+/// # Example
+///
+/// ```
+/// use renaming_lowerbound::CoupledPoisson;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let c = CoupledPoisson::new(3.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// for _ in 0..100 {
+///     let (z, y) = c.sample(&mut rng);
+///     assert!(y <= z.saturating_sub(1));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoupledPoisson {
+    z: Poisson,
+    y: Poisson,
+}
+
+impl CoupledPoisson {
+    /// Creates the coupling for rate `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn new(lambda: f64) -> Self {
+        Self {
+            z: Poisson::new(lambda),
+            y: Poisson::new(coupled_rate(lambda)),
+        }
+    }
+
+    /// The primary rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.z.lambda()
+    }
+
+    /// The coupled rate `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.y.lambda()
+    }
+
+    /// Draws the coupled pair `(Z, Y)` from a single uniform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (u64, u64) {
+        let u = rng.gen_range(0.0..1.0);
+        let z = self.z.quantile(u);
+        let y = self.y.quantile(u);
+        debug_assert!(
+            y <= z.saturating_sub(1),
+            "coupling violated: λ={} z={z} y={y}",
+            self.lambda()
+        );
+        (z, y.min(z.saturating_sub(1)))
+    }
+
+    /// Draws `Y` *conditioned on* an observed `Z = z`: the marking
+    /// simulation has realized counts and needs the matching number of
+    /// marks. Sampling `u` uniformly from `Z`'s `z`-cell and pushing it
+    /// through `Y`'s quantile preserves both the conditional law and the
+    /// almost-sure bound.
+    pub fn sample_marks_given<R: Rng + ?Sized>(&self, z: u64, rng: &mut R) -> u64 {
+        let u = self.z.conditional_uniform(z, rng);
+        let y = self.y.quantile(u);
+        y.min(z.saturating_sub(1))
+    }
+
+    /// Lemma 6.5 at a point: `P_λ(n+1) <= P_γ(n)`. Returns the margin
+    /// `P_γ(n) - P_λ(n+1)` (non-negative when the lemma holds).
+    pub fn lemma_6_5_margin(&self, n: u64) -> f64 {
+        self.y.cdf(n) - self.z.cdf(n + 1)
+    }
+}
+
+/// Verifies Lemma 6.5 over a grid of rates and counts, returning the
+/// smallest observed margin `P_γ(n) - P_λ(n+1)` (the lemma predicts it is
+/// never negative). Used by experiment E8 and the property tests.
+pub fn verify_lemma_6_5(lambdas: &[f64], max_n: u64) -> f64 {
+    let mut worst = f64::INFINITY;
+    for &lambda in lambdas {
+        let c = CoupledPoisson::new(lambda);
+        for n in 0..=max_n {
+            worst = worst.min(c.lemma_6_5_margin(n));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn coupled_rate_formula() {
+        assert_eq!(coupled_rate(1.0), 0.25); // λ²/4 = λ/4 at λ=1
+        assert_eq!(coupled_rate(0.5), 0.0625); // λ²/4 branch
+        assert_eq!(coupled_rate(8.0), 2.0); // λ/4 branch
+        assert_eq!(coupled_rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn lemma_6_5_holds_on_a_grid() {
+        let lambdas: Vec<f64> = vec![
+            0.01, 0.1, 0.25, 0.5, 0.9, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 10.0, 25.0, 100.0, 1000.0,
+        ];
+        let worst = verify_lemma_6_5(&lambdas, 256);
+        assert!(
+            worst >= -1e-12,
+            "Lemma 6.5 violated: worst margin {worst}"
+        );
+    }
+
+    #[test]
+    fn coupling_bound_holds_in_sampling() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &lambda in &[0.2f64, 1.0, 4.0, 20.0, 300.0] {
+            let c = CoupledPoisson::new(lambda);
+            for _ in 0..2_000 {
+                let (z, y) = c.sample(&mut rng);
+                assert!(y <= z.saturating_sub(1), "λ={lambda}: z={z} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_marks_respect_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &lambda in &[0.5f64, 2.0, 10.0] {
+            let c = CoupledPoisson::new(lambda);
+            for z in 0..30u64 {
+                for _ in 0..50 {
+                    let y = c.sample_marks_given(z, &mut rng);
+                    assert!(y <= z.saturating_sub(1), "λ={lambda} z={z} y={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marks_have_positive_probability_when_z_large() {
+        // For z well above λ the coupled Y is usually positive — the
+        // survivors the lower bound keeps alive.
+        let c = CoupledPoisson::new(2.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let positives = (0..500)
+            .filter(|_| c.sample_marks_given(8, &mut rng) > 0)
+            .count();
+        assert!(positives > 350, "only {positives}/500 draws kept marks");
+    }
+
+    #[test]
+    fn expected_marks_ratio_matches_rates() {
+        // E[Y]/E[Z] = γ/λ for the unconditional coupling.
+        let lambda = 6.0;
+        let c = CoupledPoisson::new(lambda);
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 40_000;
+        let (mut sz, mut sy) = (0u64, 0u64);
+        for _ in 0..n {
+            let (z, y) = c.sample(&mut rng);
+            sz += z;
+            sy += y;
+        }
+        let ratio = sy as f64 / sz as f64;
+        let expected = c.gamma() / c.lambda();
+        assert!(
+            (ratio - expected).abs() < 0.02,
+            "ratio {ratio} vs expected {expected}"
+        );
+    }
+}

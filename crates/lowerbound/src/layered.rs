@@ -1,0 +1,234 @@
+//! Monte-Carlo marking simulation of the layered execution (§6.1–6.2).
+//!
+//! The paper's adversarial execution proceeds in layers; marked processes
+//! are the ones that have not yet won a TAS, kept *independent* by the
+//! coupling gadget: at every location with total arriving rate `λ_j` and
+//! realized marked count `z_j`, the marks retained for the next layer are
+//! a coupled draw `Y_j <= max(0, z_j - 1)` with `Y_j ~ Pois(γ_j)` — and
+//! because the last `Y_j` arrivals in the layer's random permutation
+//! cannot include the location's winner, surviving marks really do
+//! correspond to processes that keep losing.
+//!
+//! This module realizes that construction executably: Poissonized
+//! instances, per-layer grouping, coupled mark draws, and the exact
+//! analytic rate system evolving alongside.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::types::TypeTable;
+use crate::{CoupledPoisson, Poisson, RateSystem};
+
+/// Configuration of a marking simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkingConfig {
+    /// System size `n`: the initial total rate is `n/2`, as in the proof
+    /// of Theorem 6.1.
+    pub n: usize,
+    /// Locations per layer (the proof's `s + m` fresh TAS objects).
+    pub s: usize,
+    /// Layers to simulate.
+    pub layers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Per-layer result of the marking simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerOutcome {
+    /// Layer index (0 = before any layer).
+    pub layer: usize,
+    /// Realized marked instances still alive.
+    pub marked: usize,
+    /// Analytic total rate `λ^ℓ` of the marked-count distribution.
+    pub lambda: f64,
+}
+
+/// Runs the marking simulation over the given type table.
+///
+/// The table's length is the number of *types* `M'` (the proof uses
+/// `M >= n²`; experiments subsample types — instances drawn onto the same
+/// type share coin flips, which only makes survival easier to disrupt, so
+/// the measured layer counts are conservative). The table must cover at
+/// least `config.layers` layers.
+///
+/// Returns one outcome per layer boundary, starting with layer 0 (the
+/// initial Poissonized population of expected size `n/2`).
+///
+/// # Panics
+///
+/// Panics if the type table is empty or shorter than `config.layers`.
+pub fn run_marking(config: MarkingConfig, types: &TypeTable) -> Vec<LayerOutcome> {
+    assert!(!types.is_empty(), "need at least one type");
+    assert!(
+        types.iter().all(|t| t.len() >= config.layers),
+        "type table shorter than the requested layers"
+    );
+    let num_types = types.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Poissonization: N ~ Pois(n/2) instances, types i.i.d. uniform — this
+    // makes the per-type counts independent Pois(n/2M') exactly.
+    let lambda0 = config.n as f64 / 2.0;
+    let population = Poisson::new(lambda0).sample(&mut rng) as usize;
+    let mut marked: Vec<usize> = (0..population)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..num_types))
+        .collect();
+
+    let mut rates = RateSystem::uniform(num_types, lambda0);
+    let mut outcomes = vec![LayerOutcome {
+        layer: 0,
+        marked: marked.len(),
+        lambda: rates.total(),
+    }];
+
+    for layer in 0..config.layers {
+        let locations: Vec<usize> = types.iter().map(|t| t[layer]).collect();
+        let loc_rates = rates.location_rates(&locations, config.s);
+
+        // Group the marked instances by the location their type probes.
+        let mut by_location: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for &type_idx in &marked {
+            by_location
+                .entry(locations[type_idx])
+                .or_default()
+                .push(type_idx);
+        }
+
+        // Coupled mark draws per location; survivors are a uniform subset
+        // (the "last Y in a random permutation" of exchangeable arrivals).
+        let mut survivors = Vec::new();
+        for (loc, mut instances) in by_location {
+            let z = instances.len() as u64;
+            let coupling = CoupledPoisson::new(loc_rates[loc]);
+            let y = coupling.sample_marks_given(z, &mut rng) as usize;
+            instances.shuffle(&mut rng);
+            survivors.extend(instances.into_iter().take(y));
+        }
+        marked = survivors;
+
+        // Advance the analytic rates in lockstep.
+        let lambda = rates.step(&locations, config.s);
+        outcomes.push(LayerOutcome {
+            layer: layer + 1,
+            marked: marked.len(),
+            lambda,
+        });
+    }
+    outcomes
+}
+
+/// Convenience: layers until the simulation ran out of marked instances
+/// (`None` if some are still alive at the end).
+pub fn extinction_layer(outcomes: &[LayerOutcome]) -> Option<usize> {
+    outcomes.iter().find(|o| o.marked == 0).map(|o| o.layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{concentrated_types, uniform_types};
+
+    fn config(n: usize, s: usize, layers: usize, seed: u64) -> MarkingConfig {
+        MarkingConfig { n, s, layers, seed }
+    }
+
+    #[test]
+    fn initial_population_is_poissonized() {
+        let n = 1 << 12;
+        let types = uniform_types(4 * n, 2 * n, 1, 0);
+        let outcomes = run_marking(config(n, 2 * n, 0, 1), &types);
+        assert_eq!(outcomes.len(), 1);
+        let pop = outcomes[0].marked as f64;
+        // Pop ~ Pois(n/2): within 6 sigma of n/2.
+        let expected = n as f64 / 2.0;
+        assert!(
+            (pop - expected).abs() < 6.0 * expected.sqrt(),
+            "population {pop} vs expected {expected}"
+        );
+        assert!((outcomes[0].lambda - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marks_shrink_but_survive_early_layers() {
+        let n = 1 << 12;
+        let s = 2 * n;
+        let types = uniform_types(4 * n, s, 8, 3);
+        let outcomes = run_marking(config(n, s, 8, 4), &types);
+        // Marked counts are non-increasing.
+        for w in outcomes.windows(2) {
+            assert!(w[1].marked <= w[0].marked);
+            assert!(w[1].lambda <= w[0].lambda + 1e-9);
+        }
+        // Theorem 6.1: survivors persist while λ^ℓ stays large. With
+        // n = 4096 and s = 2n the analytic rate after one layer is
+        // λ¹ = λ0²/(4s) = 128, so layer 1 retains marks in any but
+        // astronomically unlucky runs (Pr[Pois(128) = 0] = e^-128).
+        assert!(
+            outcomes[1].marked > 0,
+            "no survivors after 1 layer: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn realized_marks_track_analytic_rate() {
+        let n = 1 << 14;
+        let s = 2 * n;
+        let types = uniform_types(2 * n, s, 4, 5);
+        let outcomes = run_marking(config(n, s, 4, 6), &types);
+        for o in &outcomes {
+            if o.lambda >= 8.0 {
+                let sigma = o.lambda.sqrt();
+                assert!(
+                    (o.marked as f64 - o.lambda).abs() < 8.0 * sigma + 8.0,
+                    "layer {}: marked {} vs λ {}",
+                    o.layer,
+                    o.marked,
+                    o.lambda
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concentrated_types_decay_geometrically() {
+        // Everything on one location: λ drops by exactly 1/4 per layer
+        // (once λ >= 1), and extinction is fast.
+        let n = 256;
+        let types = concentrated_types(1024, 16);
+        let outcomes = run_marking(config(n, 64, 16, 7), &types);
+        for w in outcomes.windows(2) {
+            if w[0].lambda >= 1.0 {
+                assert!((w[1].lambda - w[0].lambda / 4.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn extinction_layer_detection() {
+        let outcomes = vec![
+            LayerOutcome {
+                layer: 0,
+                marked: 5,
+                lambda: 5.0,
+            },
+            LayerOutcome {
+                layer: 1,
+                marked: 0,
+                lambda: 1.0,
+            },
+        ];
+        assert_eq!(extinction_layer(&outcomes), Some(1));
+        assert_eq!(extinction_layer(&outcomes[..1]), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_type_table_panics() {
+        let types = uniform_types(8, 8, 2, 0);
+        run_marking(config(16, 8, 5, 0), &types);
+    }
+}

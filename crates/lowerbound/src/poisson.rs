@@ -1,0 +1,267 @@
+//! The Poisson distribution: pmf, cdf, quantile and exact-inversion
+//! sampling, stable from tiny rates up to `λ ~ 1e6`.
+//!
+//! §6 of the paper runs on Poisson machinery: process counts are
+//! Poissonized (`X_i ~ Pois(n/2M)`), the coupling gadget needs the cdf
+//! `P_λ(n)` (Lemma 6.5), and the marking procedure needs conditional
+//! quantile sampling. Everything here is computed by summing the pmf
+//! recurrence `p_(k+1) = p_k · λ/(k+1)` starting from a point of
+//! non-negligible mass, with the starting value from the log-space pmf.
+
+use rand::Rng;
+
+use crate::gamma::ln_factorial;
+
+/// A Poisson distribution with rate `λ >= 0`.
+///
+/// # Example
+///
+/// ```
+/// use renaming_lowerbound::Poisson;
+///
+/// let p = Poisson::new(1.0);
+/// assert!((p.pmf(0) - (-1.0f64).exp()).abs() < 1e-12);
+/// assert!((p.cdf(1) - 2.0 * (-1.0f64).exp()).abs() < 1e-12);
+/// assert_eq!(p.quantile(0.5), 1); // cdf(0) ≈ 0.368 < 0.5 <= cdf(1)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson rate must be finite and non-negative, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// The rate `λ` (equal to both mean and variance).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Natural log of `Pr[X = k]`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)
+    }
+
+    /// `Pr[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// The first `k` whose pmf does not underflow f64 (window start for
+    /// the recurrence; 0 for small rates). Found by binary search on the
+    /// monotone-below-the-mode log pmf, because the Poisson left tail
+    /// decays much faster than a Gaussian at large relative deviations.
+    fn window_start(&self) -> u64 {
+        if self.lambda < 700.0 {
+            return 0; // ln pmf(0) = -λ > -700: representable everywhere
+        }
+        let mode = self.lambda.floor() as u64;
+        let (mut lo, mut hi) = (0u64, mode);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.ln_pmf(mid) >= -700.0 {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// `P_λ(k) = Pr[X <= k]` — the paper's cumulative notation.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return 1.0;
+        }
+        let start = self.window_start();
+        if k < start {
+            // Mass below the window start is < k·e^-700: it underflows f64
+            // and is reported as 0 (documented behaviour of the far tail).
+            return 0.0;
+        }
+        let mut term = self.ln_pmf(start).exp();
+        let mut acc = term;
+        let mut i = start;
+        while i < k {
+            term *= self.lambda / (i + 1) as f64;
+            acc += term;
+            i += 1;
+        }
+        acc.min(1.0)
+    }
+
+    /// The smallest `k` with `cdf(k) >= u`, i.e. the quantile function
+    /// evaluated at `u in [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1)`.
+    pub fn quantile(&self, u: f64) -> u64 {
+        assert!((0.0..1.0).contains(&u), "quantile needs u in [0,1), got {u}");
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        let start = self.window_start();
+        let mut term = self.ln_pmf(start).exp();
+        let mut acc = term;
+        let mut k = start;
+        // Walk right until the cumulative mass reaches u. The cap guards
+        // against float underflow in pathological tails: the right tail at
+        // λ + 45·sqrt(λ) + 200 holds less than f64 epsilon of mass.
+        let cap = (self.lambda + 45.0 * self.lambda.sqrt() + 200.0) as u64;
+        while acc < u && k < cap {
+            k += 1;
+            term *= self.lambda / k as f64;
+            acc += term;
+        }
+        k
+    }
+
+    /// Draws a sample by exact inversion of a uniform variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.quantile(rng.gen_range(0.0..1.0))
+    }
+
+    /// Draws `Y | X = z` for the quantile coupling: a uniform `u`
+    /// conditioned on `quantile(u) == z` (i.e. `u` uniform in
+    /// `(cdf(z-1), cdf(z)]`), returned for reuse by the coupled draw.
+    pub fn conditional_uniform<R: Rng + ?Sized>(&self, z: u64, rng: &mut R) -> f64 {
+        let lo = if z == 0 { 0.0 } else { self.cdf(z - 1) };
+        let hi = self.cdf(z);
+        if hi <= lo {
+            // Numerically empty cell (deep tail): collapse to hi.
+            return hi.min(1.0 - f64::EPSILON);
+        }
+        let u = rng.gen_range(lo..hi);
+        u.min(1.0 - f64::EPSILON)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_matches_closed_form_small_lambda() {
+        let p = Poisson::new(2.0);
+        let e2 = (-2.0f64).exp();
+        assert!((p.pmf(0) - e2).abs() < 1e-14);
+        assert!((p.pmf(1) - 2.0 * e2).abs() < 1e-14);
+        assert!((p.pmf(2) - 2.0 * e2).abs() < 1e-14);
+        assert!((p.pmf(3) - 4.0 / 3.0 * e2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.1f64, 1.0, 7.3, 30.0, 150.0] {
+            let p = Poisson::new(lambda);
+            let hi = (lambda + 30.0 * lambda.sqrt() + 50.0) as u64;
+            let total: f64 = (0..=hi).map(|k| p.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "λ = {lambda}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        for &lambda in &[0.5f64, 4.0, 99.0, 2_000.0] {
+            let p = Poisson::new(lambda);
+            let hi = (lambda + 20.0 * lambda.sqrt() + 30.0) as u64;
+            let mut prev = 0.0;
+            for k in (0..=hi).step_by((hi as usize / 64).max(1)) {
+                let c = p.cdf(k);
+                assert!(c >= prev - 1e-12, "λ = {lambda}, k = {k}");
+                assert!(c <= 1.0 + 1e-12);
+                prev = c;
+            }
+            assert!((p.cdf(hi) - 1.0).abs() < 1e-9, "λ = {lambda}");
+        }
+    }
+
+    #[test]
+    fn cdf_handles_huge_lambda() {
+        let p = Poisson::new(1_000_000.0);
+        // Median of Pois(λ) is within a whisker of λ.
+        let median = p.cdf(1_000_000);
+        assert!((median - 0.5).abs() < 0.01, "median cdf {median}");
+        assert_eq!(p.cdf(900_000), 0.0); // far-left tail underflows to 0
+        assert!((p.cdf(1_100_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &lambda in &[0.2f64, 3.0, 42.0, 1_234.0] {
+            let p = Poisson::new(lambda);
+            for &u in &[0.001, 0.1, 0.5, 0.9, 0.999] {
+                let k = p.quantile(u);
+                assert!(p.cdf(k) >= u, "λ={lambda} u={u}: cdf(q) < u");
+                if k > 0 {
+                    assert!(p.cdf(k - 1) < u, "λ={lambda} u={u}: q not minimal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_degenerate() {
+        let p = Poisson::new(0.0);
+        assert_eq!(p.pmf(0), 1.0);
+        assert_eq!(p.pmf(3), 0.0);
+        assert_eq!(p.cdf(0), 1.0);
+        assert_eq!(p.quantile(0.999), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn sample_mean_and_variance_match() {
+        let lambda = 9.0;
+        let p = Poisson::new(lambda);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.15, "mean {mean}");
+        assert!((var - lambda).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn conditional_uniform_lands_in_cell() {
+        let p = Poisson::new(5.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for z in 0..15u64 {
+            for _ in 0..20 {
+                let u = p.conditional_uniform(z, &mut rng);
+                assert_eq!(p.quantile(u), z, "u = {u} must map back to z = {z}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rate_panics() {
+        Poisson::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_of_one_panics() {
+        Poisson::new(1.0).quantile(1.0);
+    }
+}

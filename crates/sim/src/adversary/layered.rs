@@ -1,0 +1,126 @@
+//! The layered random-permutation schedule of the §6 lower bound.
+
+use std::collections::VecDeque;
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use crate::adversary::{Adversary, SchedView};
+use crate::ProcessId;
+
+/// Oblivious layered schedule: the execution proceeds in *layers*; in each
+/// layer every live process takes exactly one step, in an order given by a
+/// fresh uniformly random permutation.
+///
+/// This is precisely the worst-case schedule constructed in the paper's
+/// lower bound (§6.1: "Each layer of σ consists of a single step by each
+/// process instance. These steps are ordered by a random permutation that
+/// is chosen uniformly and independently for each layer. Since σ does not
+/// depend on the actions of the algorithm, it can be supplied by an
+/// oblivious adversary."). Experiment E7 runs the real algorithms under it
+/// and counts layers to completion.
+#[derive(Debug, Default)]
+pub struct LayeredPermutation {
+    queue: VecDeque<ProcessId>,
+    layers: u64,
+}
+
+impl LayeredPermutation {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for LayeredPermutation {
+    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+        loop {
+            match self.queue.pop_front() {
+                Some(pid) if view.pending.contains(pid) => return pid,
+                Some(_) => continue,
+                None => {
+                    let mut pids: Vec<ProcessId> = view.pending.iter().collect();
+                    // Sort first so the permutation distribution does not
+                    // depend on PendingSet's internal order.
+                    pids.sort_unstable();
+                    pids.shuffle(rng);
+                    self.queue.extend(pids);
+                    self.layers += 1;
+                }
+            }
+        }
+    }
+
+    fn layers(&self) -> Option<u64> {
+        Some(self.layers)
+    }
+
+    fn label(&self) -> &'static str {
+        "layered-permutation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::PendingSet;
+    use crate::TasMemory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn each_layer_schedules_every_live_process_once() {
+        let n = 16;
+        let mut pending = PendingSet::new(n);
+        for pid in 0..n {
+            pending.add(pid, 0);
+        }
+        let memory = TasMemory::new(1);
+        let mut adv = LayeredPermutation::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for layer in 0..5u64 {
+            let mut seen = vec![false; n];
+            for step in 0..n as u64 {
+                let view = SchedView {
+                    pending: &pending,
+                    memory: &memory,
+                    step: layer * n as u64 + step,
+                };
+                let pid = adv.next(&view, &mut rng);
+                assert!(!seen[pid], "pid {pid} scheduled twice in layer {layer}");
+                seen[pid] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+        assert_eq!(adv.layers(), Some(5));
+    }
+
+    #[test]
+    fn permutations_differ_across_layers() {
+        let n = 32;
+        let mut pending = PendingSet::new(n);
+        for pid in 0..n {
+            pending.add(pid, 0);
+        }
+        let memory = TasMemory::new(1);
+        let mut adv = LayeredPermutation::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer_orders = Vec::new();
+        for _ in 0..2 {
+            let mut order = Vec::new();
+            for _ in 0..n {
+                let view = SchedView {
+                    pending: &pending,
+                    memory: &memory,
+                    step: 0,
+                };
+                order.push(adv.next(&view, &mut rng));
+            }
+            layer_orders.push(order);
+        }
+        assert_ne!(
+            layer_orders[0], layer_orders[1],
+            "two random permutations of 32 elements should differ"
+        );
+    }
+}

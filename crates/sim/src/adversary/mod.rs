@@ -1,0 +1,128 @@
+//! Adversarial schedulers.
+//!
+//! The adversary decides, at every step, which process performs its pending
+//! shared-memory operation next (§2 of the paper). Strategies here span the
+//! two adversary classes the paper analyses:
+//!
+//! * **Strong / adaptive** (may inspect coin flips, i.e. the pending probe
+//!   locations, and the memory): [`CollisionSeeker`], [`Starver`].
+//! * **Oblivious** (schedule independent of coins): [`RoundRobin`],
+//!   [`LayeredPermutation`] (the §6 lower-bound schedule), and
+//!   [`UniformRandom`] (oblivious in distribution — its choices don't
+//!   depend on process state).
+//!
+//! Implementations must be cheap: the runner invokes the adversary once per
+//! simulated step, and experiments run executions with hundreds of
+//! thousands of processes. All provided strategies are O(1) amortized per
+//! decision.
+
+mod collision;
+mod layered;
+mod pending;
+mod random;
+mod round_robin;
+mod starver;
+
+pub use collision::CollisionSeeker;
+pub use layered::LayeredPermutation;
+pub use pending::PendingSet;
+pub use random::UniformRandom;
+pub use round_robin::RoundRobin;
+pub use starver::Starver;
+
+use rand::RngCore;
+
+use crate::{ProcessId, TasMemory};
+
+/// The information available to an adversary when it picks the next
+/// process to schedule.
+///
+/// A *strong* adversary may use everything here — in particular
+/// [`PendingSet::location`], which reveals each process's latest coin
+/// flips. An *oblivious* strategy must restrict itself to the set of
+/// schedulable process ids (and its own state); this is a documented
+/// convention, not enforced by types.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// The schedulable processes and their pending probes.
+    pub pending: &'a PendingSet,
+    /// The shared memory (a strong adversary may read it).
+    pub memory: &'a TasMemory,
+    /// Global step counter (number of shared-memory steps executed).
+    pub step: u64,
+}
+
+/// A scheduling strategy.
+///
+/// The runner guarantees `view.pending` is non-empty when calling
+/// [`next`](Self::next); the implementation must return a process id
+/// contained in it (the runner panics otherwise, as that is a bug in the
+/// adversary, not in the algorithm under test).
+pub trait Adversary {
+    /// Chooses the process whose pending probe executes next.
+    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId;
+
+    /// Hook invoked after every executed probe, before the process
+    /// proposes its next action. `pending` still contains `pid`'s just
+    /// executed probe registration. Strong adversaries use this to track
+    /// consequences of wins (e.g. queueing up doomed probes).
+    fn on_executed(
+        &mut self,
+        pid: ProcessId,
+        location: usize,
+        won: bool,
+        pending: &PendingSet,
+    ) {
+        let _ = (pid, location, won, pending);
+    }
+
+    /// For layered schedules: the number of completed layers, if the
+    /// strategy counts them.
+    fn layers(&self) -> Option<u64> {
+        None
+    }
+
+    /// Short label for reports.
+    fn label(&self) -> &'static str;
+}
+
+impl std::fmt::Debug for dyn Adversary + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Adversary")
+            .field("label", &self.label())
+            .finish()
+    }
+}
+
+/// Convenience: every built-in adversary strategy, for sweep experiments.
+pub fn all_strategies() -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(RoundRobin::new()),
+        Box::new(UniformRandom::new()),
+        Box::new(LayeredPermutation::new()),
+        Box::new(CollisionSeeker::new()),
+        Box::new(Starver::new(0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strategies_have_distinct_labels() {
+        let strategies = all_strategies();
+        let mut labels: Vec<&str> = strategies.iter().map(|s| s.label()).collect();
+        let before = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+    }
+
+    #[test]
+    fn trait_object_debug_shows_label() {
+        let a: Box<dyn Adversary> = Box::new(RoundRobin::new());
+        let s = format!("{a:?}");
+        assert!(s.contains("round-robin"));
+    }
+}

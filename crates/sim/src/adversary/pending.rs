@@ -1,0 +1,220 @@
+//! Incrementally-maintained set of schedulable processes.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::ProcessId;
+
+/// The set of processes that currently have a pending shared-memory probe,
+/// with O(1) membership, O(1) random sampling, and per-location indexing.
+///
+/// Maintained by the runner; adversaries only read it. The per-location
+/// index is what lets strong adversaries find colliding probes without
+/// scanning.
+#[derive(Debug, Clone)]
+pub struct PendingSet {
+    /// Dense vector of schedulable pids (order unspecified).
+    pids: Vec<ProcessId>,
+    /// pid -> index into `pids`, or `None` when not pending.
+    pos: Vec<Option<usize>>,
+    /// pid -> pending probe location (valid while `pos[pid].is_some()`).
+    location_of: Vec<usize>,
+    /// location -> pids currently pending on it.
+    at_location: HashMap<usize, Vec<ProcessId>>,
+}
+
+impl PendingSet {
+    /// Creates an empty set for processes `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            pids: Vec::with_capacity(n),
+            pos: vec![None; n],
+            location_of: vec![0; n],
+            at_location: HashMap::new(),
+        }
+    }
+
+    /// Number of schedulable processes.
+    pub fn len(&self) -> usize {
+        self.pids.len()
+    }
+
+    /// Returns `true` if no process is schedulable.
+    pub fn is_empty(&self) -> bool {
+        self.pids.is_empty()
+    }
+
+    /// Returns `true` if `pid` has a pending probe.
+    pub fn contains(&self, pid: ProcessId) -> bool {
+        self.pos.get(pid).is_some_and(|p| p.is_some())
+    }
+
+    /// The pending probe location of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not pending.
+    pub fn location(&self, pid: ProcessId) -> usize {
+        assert!(self.contains(pid), "process {pid} has no pending probe");
+        self.location_of[pid]
+    }
+
+    /// Iterates over the schedulable pids (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.pids.iter().copied()
+    }
+
+    /// The pids currently pending on `location`.
+    pub fn pids_at(&self, location: usize) -> &[ProcessId] {
+        self.at_location
+            .get(&location)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// A uniformly random schedulable pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> ProcessId {
+        assert!(!self.is_empty(), "no schedulable process");
+        self.pids[rng.gen_range(0..self.pids.len())]
+    }
+
+    /// Test-only access to [`Self::add`] for external model-based tests.
+    #[doc(hidden)]
+    pub fn add_for_test(&mut self, pid: ProcessId, location: usize) {
+        self.add(pid, location);
+    }
+
+    /// Test-only access to [`Self::remove`] for external model-based tests.
+    #[doc(hidden)]
+    pub fn remove_for_test(&mut self, pid: ProcessId) {
+        self.remove(pid);
+    }
+
+    /// Registers `pid` as pending on `location`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is already pending or out of range.
+    pub(crate) fn add(&mut self, pid: ProcessId, location: usize) {
+        assert!(
+            self.pos[pid].is_none(),
+            "process {pid} already has a pending probe"
+        );
+        self.pos[pid] = Some(self.pids.len());
+        self.pids.push(pid);
+        self.location_of[pid] = location;
+        self.at_location.entry(location).or_default().push(pid);
+    }
+
+    /// Removes `pid` (probe executed, process finished, or crashed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not pending.
+    pub(crate) fn remove(&mut self, pid: ProcessId) {
+        let idx = self.pos[pid].take().expect("process not pending");
+        let last = self.pids.pop().expect("pending vec empty");
+        if last != pid {
+            self.pids[idx] = last;
+            self.pos[last] = Some(idx);
+        }
+        let loc = self.location_of[pid];
+        if let Some(bucket) = self.at_location.get_mut(&loc) {
+            if let Some(i) = bucket.iter().position(|&p| p == pid) {
+                bucket.swap_remove(i);
+            }
+            if bucket.is_empty() {
+                self.at_location.remove(&loc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut s = PendingSet::new(4);
+        assert!(s.is_empty());
+        s.add(2, 10);
+        s.add(0, 10);
+        s.add(3, 5);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2));
+        assert!(!s.contains(1));
+        assert_eq!(s.location(3), 5);
+        assert_eq!(s.pids_at(10), &[2, 0]);
+        s.remove(2);
+        assert!(!s.contains(2));
+        assert_eq!(s.pids_at(10), &[0]);
+        s.remove(0);
+        assert!(s.pids_at(10).is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_indices_consistent() {
+        let mut s = PendingSet::new(5);
+        for pid in 0..5 {
+            s.add(pid, pid * 2);
+        }
+        s.remove(0); // forces a swap with the last element
+        for pid in 1..5 {
+            assert!(s.contains(pid), "pid {pid} lost");
+            assert_eq!(s.location(pid), pid * 2);
+        }
+        // Everyone removable without panic.
+        for pid in 1..5 {
+            s.remove(pid);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn random_returns_members() {
+        let mut s = PendingSet::new(10);
+        for pid in [1, 4, 7] {
+            s.add(pid, 0);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = s.random(&mut rng);
+            assert!(s.contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_add_panics() {
+        let mut s = PendingSet::new(2);
+        s.add(1, 0);
+        s.add(1, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn location_of_absent_pid_panics() {
+        let s = PendingSet::new(2);
+        s.location(0);
+    }
+
+    #[test]
+    fn iter_covers_all_members() {
+        let mut s = PendingSet::new(6);
+        for pid in [5, 1, 3] {
+            s.add(pid, 9);
+        }
+        let mut got: Vec<_> = s.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Uniformly random scheduler.
+
+use rand::RngCore;
+
+use crate::adversary::{Adversary, SchedView};
+use crate::ProcessId;
+
+/// Schedules a uniformly random schedulable process at every step.
+///
+/// The canonical "no particular adversary" schedule: each decision is an
+/// independent uniform draw over the live processes, ignoring their state,
+/// so the strategy is oblivious in effect.
+#[derive(Debug, Default)]
+pub struct UniformRandom(());
+
+impl UniformRandom {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self(())
+    }
+}
+
+impl Adversary for UniformRandom {
+    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+        view.pending.random(rng)
+    }
+
+    fn label(&self) -> &'static str {
+        "uniform-random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::PendingSet;
+    use crate::TasMemory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn only_schedules_live_processes() {
+        let mut pending = PendingSet::new(8);
+        for pid in [1, 3, 6] {
+            pending.add(pid, 0);
+        }
+        let memory = TasMemory::new(1);
+        let mut adv = UniformRandom::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for step in 0..100 {
+            let view = SchedView {
+                pending: &pending,
+                memory: &memory,
+                step,
+            };
+            let pid = adv.next(&view, &mut rng);
+            assert!([1, 3, 6].contains(&pid));
+        }
+    }
+
+    #[test]
+    fn eventually_schedules_everyone() {
+        let mut pending = PendingSet::new(4);
+        for pid in 0..4 {
+            pending.add(pid, 0);
+        }
+        let memory = TasMemory::new(1);
+        let mut adv = UniformRandom::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for step in 0..200 {
+            let view = SchedView {
+                pending: &pending,
+                memory: &memory,
+                step,
+            };
+            seen[adv.next(&view, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic fair scheduler.
+
+use std::collections::VecDeque;
+
+use rand::RngCore;
+
+use crate::adversary::{Adversary, SchedView};
+use crate::ProcessId;
+
+/// Fair, oblivious scheduler: every schedulable process takes exactly one
+/// step per cycle, in process-id order.
+///
+/// This is the benign baseline schedule; the paper's bounds must hold under
+/// it as a special case. Cycles are counted and exposed via
+/// [`Adversary::layers`].
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    queue: VecDeque<ProcessId>,
+    cycles: u64,
+}
+
+impl RoundRobin {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for RoundRobin {
+    fn next(&mut self, view: &SchedView<'_>, _rng: &mut dyn RngCore) -> ProcessId {
+        loop {
+            match self.queue.pop_front() {
+                Some(pid) if view.pending.contains(pid) => return pid,
+                Some(_) => continue, // finished or crashed since enqueued
+                None => {
+                    let mut pids: Vec<ProcessId> = view.pending.iter().collect();
+                    pids.sort_unstable();
+                    self.queue.extend(pids);
+                    self.cycles += 1;
+                }
+            }
+        }
+    }
+
+    fn layers(&self) -> Option<u64> {
+        Some(self.cycles)
+    }
+
+    fn label(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::PendingSet;
+    use crate::TasMemory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedules_in_pid_order_per_cycle() {
+        let mut pending = PendingSet::new(3);
+        for pid in 0..3 {
+            pending.add(pid, 0);
+        }
+        let memory = TasMemory::new(1);
+        let mut adv = RoundRobin::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut order = Vec::new();
+        for step in 0..6 {
+            let view = SchedView {
+                pending: &pending,
+                memory: &memory,
+                step,
+            };
+            order.push(adv.next(&view, &mut rng));
+        }
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(adv.layers(), Some(2));
+    }
+
+    #[test]
+    fn skips_departed_processes() {
+        let mut pending = PendingSet::new(3);
+        for pid in 0..3 {
+            pending.add(pid, 0);
+        }
+        let memory = TasMemory::new(1);
+        let mut adv = RoundRobin::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let view = SchedView {
+            pending: &pending,
+            memory: &memory,
+            step: 0,
+        };
+        assert_eq!(adv.next(&view, &mut rng), 0);
+        pending.remove(1); // process 1 finishes
+        let view = SchedView {
+            pending: &pending,
+            memory: &memory,
+            step: 1,
+        };
+        assert_eq!(adv.next(&view, &mut rng), 2);
+    }
+}

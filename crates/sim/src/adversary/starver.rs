@@ -1,0 +1,112 @@
+//! A strong adversary that starves a victim process.
+
+use rand::RngCore;
+
+use crate::adversary::{Adversary, SchedView};
+use crate::ProcessId;
+
+/// Strong adversary that delays one victim process as long as possible:
+/// every other process runs to completion first, so by the time the victim
+/// takes its steps, the namespace is maximally occupied.
+///
+/// This realizes the classic worst case for naive probing — a late process
+/// facing occupancy `(n-1)/m` on every probe — and is the schedule under
+/// which ReBatching's per-batch probe budget (Eq. 2) earns its keep: the
+/// victim burns at most `t_0` probes on the crowded batch 0 and then finds
+/// nearly-empty batches.
+#[derive(Debug)]
+pub struct Starver {
+    victim: ProcessId,
+}
+
+impl Starver {
+    /// Creates the adversary; `victim` is the process to starve.
+    pub fn new(victim: ProcessId) -> Self {
+        Self { victim }
+    }
+
+    /// The starved process.
+    pub fn victim(&self) -> ProcessId {
+        self.victim
+    }
+}
+
+impl Adversary for Starver {
+    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+        // Any non-victim first; sampling is cheap and avoids bias.
+        if view.pending.len() == 1 || !view.pending.contains(self.victim) {
+            return view.pending.random(rng);
+        }
+        loop {
+            let pid = view.pending.random(rng);
+            if pid != self.victim {
+                return pid;
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "starver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::PendingSet;
+    use crate::TasMemory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_schedules_victim_while_others_live() {
+        let mut pending = PendingSet::new(4);
+        for pid in 0..4 {
+            pending.add(pid, 0);
+        }
+        let memory = TasMemory::new(1);
+        let mut adv = Starver::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        for step in 0..100 {
+            let view = SchedView {
+                pending: &pending,
+                memory: &memory,
+                step,
+            };
+            assert_ne!(adv.next(&view, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn schedules_victim_when_alone() {
+        let mut pending = PendingSet::new(4);
+        pending.add(2, 0);
+        let memory = TasMemory::new(1);
+        let mut adv = Starver::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let view = SchedView {
+            pending: &pending,
+            memory: &memory,
+            step: 0,
+        };
+        assert_eq!(adv.next(&view, &mut rng), 2);
+        assert_eq!(adv.victim(), 2);
+    }
+
+    #[test]
+    fn works_when_victim_already_finished() {
+        let mut pending = PendingSet::new(3);
+        pending.add(0, 0);
+        pending.add(1, 0);
+        let memory = TasMemory::new(1);
+        let mut adv = Starver::new(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let view = SchedView {
+            pending: &pending,
+            memory: &memory,
+            step: 0,
+        };
+        let pid = adv.next(&view, &mut rng);
+        assert!(pid == 0 || pid == 1);
+    }
+}

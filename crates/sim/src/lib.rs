@@ -1,0 +1,87 @@
+//! Asynchronous shared-memory execution model for renaming algorithms.
+//!
+//! This crate reproduces the model of §2 of *"Randomized loose renaming in
+//! O(log log n) time"* (PODC 2013): `n` processes take *steps*, each step
+//! consisting of local computation (including coin flips) followed by one
+//! shared-memory operation — here always a test-and-set (TAS) on an indexed
+//! location. The order of steps, and crashes, are controlled by an
+//! **adversary**:
+//!
+//! * the *adaptive (strong)* adversary sees the full state of every process,
+//!   including the outcome of coin flips, before each scheduling decision;
+//! * the *oblivious* adversary fixes the schedule independently of the coin
+//!   flips (e.g. the layered random-permutation schedule of the paper's §6
+//!   lower bound).
+//!
+//! Algorithms are expressed as deterministic-given-coins step machines
+//! ([`Renamer`]): the simulator asks a machine to [`Renamer::propose`] its
+//! next shared-memory operation (this is where coins are flipped — and the
+//! strong adversary gets to see the chosen location), schedules it at a
+//! moment of the adversary's choosing, and reports the outcome via
+//! [`Renamer::observe`].
+//!
+//! The same machines are run, unchanged, against real hardware atomics by
+//! `renaming-core`'s concurrent driver — the simulator is how we measure
+//! *step complexity* exactly, the threads are how we measure wall-clock
+//! time.
+//!
+//! # Example
+//!
+//! ```
+//! use renaming_sim::adversary::RoundRobin;
+//! use renaming_sim::{Action, Execution, Name, Renamer};
+//! use rand::RngCore;
+//!
+//! /// A toy renamer: scan locations left to right.
+//! struct Scan { next: usize, won: Option<Name> }
+//!
+//! impl Renamer for Scan {
+//!     fn propose(&mut self, _rng: &mut dyn RngCore) -> Action {
+//!         match self.won {
+//!             Some(name) => Action::Done(name),
+//!             None => Action::Probe(self.next),
+//!         }
+//!     }
+//!     fn observe(&mut self, won: bool) {
+//!         if won { self.won = Some(Name::new(self.next)) } else { self.next += 1 }
+//!     }
+//!     fn name(&self) -> Option<Name> {
+//!         self.won
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machines: Vec<Box<dyn Renamer>> = (0..4)
+//!     .map(|_| Box::new(Scan { next: 0, won: None }) as Box<dyn Renamer>)
+//!     .collect();
+//! let report = Execution::new(8)
+//!     .adversary(Box::new(RoundRobin::new()))
+//!     .seed(7)
+//!     .run(machines)?;
+//! assert_eq!(report.assigned_names().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod adversary;
+mod crash;
+mod error;
+mod machine;
+mod memory;
+mod report;
+mod runner;
+mod trace;
+
+pub use crash::CrashPlan;
+pub use error::SimError;
+pub use machine::{Action, MachineStats, Name, Renamer};
+pub use memory::TasMemory;
+pub use report::{ExecutionReport, ProcessOutcome};
+pub use runner::Execution;
+pub use trace::{ExecutionTrace, TraceEvent};
+
+/// Identifier of a simulated process (its index in the machine vector).
+pub type ProcessId = usize;

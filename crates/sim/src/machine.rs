@@ -1,0 +1,175 @@
+//! The step-machine interface every renaming algorithm implements.
+
+use std::fmt;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A name: the index of the shared TAS location the process won.
+///
+/// The paper's convention (§1): "a process obtains a name by performing a
+/// successful TAS on a location, returning the index of that location as
+/// its name". Names are zero-based here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Name(usize);
+
+impl Name {
+    /// Wraps a raw location index as a name.
+    pub fn new(value: usize) -> Self {
+        Name(value)
+    }
+
+    /// The raw value (location index) of the name.
+    pub fn value(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Name> for usize {
+    fn from(name: Name) -> usize {
+        name.0
+    }
+}
+
+/// The next move a step machine wants to make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Perform a test-and-set on the global location with this index.
+    ///
+    /// One `Probe` is one *step* in the paper's complexity measures.
+    Probe(usize),
+    /// The machine has terminated with this name. Termination is a local
+    /// action and costs no shared-memory step.
+    Done(Name),
+    /// The machine gives up: its namespace is exhausted. This can only
+    /// happen when an algorithm is run with more processes than the
+    /// capacity it was constructed for; the runner records the process as
+    /// stuck rather than deadlocking.
+    Stuck,
+}
+
+/// Per-machine diagnostic counters, reported after an execution.
+///
+/// Algorithms fill in what applies to them; the defaults are neutral.
+/// These feed experiments E3 (per-batch survivor counts), E4 (backup-phase
+/// rate) and E5/E6 (objects visited by the adaptive algorithms).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Shared-memory probes performed.
+    pub probes: u64,
+    /// Number of batch-probe calls (`TryGetName` in the paper's
+    /// pseudocode) that completed without acquiring a name.
+    pub failed_calls: u64,
+    /// Deepest batch index probed inside a single ReBatching object.
+    /// For the ReBatching algorithm, a value of `i` means the process
+    /// survived into batch `B_i` (Lemma 4.2's `n_i` counts processes with
+    /// `deepest_batch >= i`).
+    pub deepest_batch: Option<usize>,
+    /// Number of distinct ReBatching objects visited (adaptive algorithms).
+    pub objects_visited: u64,
+    /// Whether the sequential backup phase was entered (§4, lines 5–7).
+    pub entered_backup: bool,
+    /// Total names the process *acquired* (the adaptive algorithms may win
+    /// several TAS objects and return only the last).
+    pub names_acquired: u64,
+}
+
+/// A renaming algorithm expressed as a step machine.
+///
+/// The contract mirrors the paper's model:
+///
+/// 1. The runner calls [`propose`](Self::propose). The machine flips any
+///    coins it needs (via `rng`) and announces its next shared-memory
+///    operation. A strong adversary may inspect the announced location
+///    before scheduling the step.
+/// 2. When the adversary schedules the process, the runner executes the TAS
+///    and reports the outcome through [`observe`](Self::observe).
+/// 3. When `propose` returns [`Action::Done`], the process has terminated;
+///    the runner never calls the machine again.
+///
+/// Machines must be deterministic given the coin-flip sequence: all
+/// nondeterminism flows through `rng`. This is what lets the concurrent
+/// driver in `renaming-core` replay the same machine against hardware
+/// atomics.
+pub trait Renamer {
+    /// Announce the next action. Must not be called again before
+    /// [`observe`](Self::observe) if it returned [`Action::Probe`], and
+    /// must never be called after it returned [`Action::Done`].
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action;
+
+    /// Report the outcome of the most recently proposed probe
+    /// (`won == true` iff the TAS was won).
+    fn observe(&mut self, won: bool);
+
+    /// The name the machine has decided on, if it has terminated.
+    fn name(&self) -> Option<Name>;
+
+    /// Diagnostic counters; see [`MachineStats`].
+    fn stats(&self) -> MachineStats {
+        MachineStats::default()
+    }
+
+    /// Short label for reports ("rebatching", "uniform", ...).
+    fn algorithm(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+impl fmt::Debug for dyn Renamer + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Renamer")
+            .field("algorithm", &self.algorithm())
+            .field("name", &self.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_accessors() {
+        let n = Name::new(17);
+        assert_eq!(n.value(), 17);
+        assert_eq!(usize::from(n), 17);
+        assert_eq!(n.to_string(), "17");
+        assert!(Name::new(3) < Name::new(4));
+    }
+
+    #[test]
+    fn action_equality() {
+        assert_eq!(Action::Probe(3), Action::Probe(3));
+        assert_ne!(Action::Probe(3), Action::Probe(4));
+        assert_ne!(Action::Probe(3), Action::Done(Name::new(3)));
+    }
+
+    #[test]
+    fn default_stats_are_neutral() {
+        let s = MachineStats::default();
+        assert_eq!(s.probes, 0);
+        assert_eq!(s.deepest_batch, None);
+        assert!(!s.entered_backup);
+    }
+
+    #[test]
+    fn stats_serde_roundtrip() {
+        let s = MachineStats {
+            probes: 5,
+            failed_calls: 1,
+            deepest_batch: Some(2),
+            objects_visited: 3,
+            entered_backup: false,
+            names_acquired: 1,
+        };
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: MachineStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,174 @@
+//! Simulated shared memory: an indexed array of one-shot TAS locations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProcessId;
+
+/// The shared array of test-and-set locations used by a simulated
+/// execution.
+///
+/// Besides the boolean flags themselves, the memory records which process
+/// won each location and how often each location was probed — the
+/// contention statistics several experiments report.
+///
+/// # Example
+///
+/// ```
+/// use renaming_sim::TasMemory;
+///
+/// let mut mem = TasMemory::new(4);
+/// assert!(mem.test_and_set(2, 0));   // process 0 wins location 2
+/// assert!(!mem.test_and_set(2, 1));  // process 1 loses it
+/// assert_eq!(mem.winner(2), Some(0));
+/// assert_eq!(mem.accesses(2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TasMemory {
+    set: Vec<bool>,
+    winners: Vec<Option<ProcessId>>,
+    accesses: Vec<u32>,
+}
+
+impl TasMemory {
+    /// Creates `size` unset locations.
+    pub fn new(size: usize) -> Self {
+        Self {
+            set: vec![false; size],
+            winners: vec![None; size],
+            accesses: vec![0; size],
+        }
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Returns `true` if the memory has no locations.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Performs a TAS on `location` on behalf of `pid`; returns `true` if
+    /// the process won.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `location` is out of bounds.
+    pub fn test_and_set(&mut self, location: usize, pid: ProcessId) -> bool {
+        self.accesses[location] = self.accesses[location].saturating_add(1);
+        if self.set[location] {
+            false
+        } else {
+            self.set[location] = true;
+            self.winners[location] = Some(pid);
+            true
+        }
+    }
+
+    /// Reads `location` without modifying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `location` is out of bounds.
+    pub fn is_set(&self, location: usize) -> bool {
+        self.set[location]
+    }
+
+    /// The process that won `location`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `location` is out of bounds.
+    pub fn winner(&self, location: usize) -> Option<ProcessId> {
+        self.winners[location]
+    }
+
+    /// How many TAS operations hit `location`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `location` is out of bounds.
+    pub fn accesses(&self, location: usize) -> u32 {
+        self.accesses[location]
+    }
+
+    /// Number of won locations.
+    pub fn set_count(&self) -> usize {
+        self.set.iter().filter(|s| **s).count()
+    }
+
+    /// The largest access count over all locations (peak contention).
+    pub fn max_accesses(&self) -> u32 {
+        self.accesses.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total TAS operations across all locations.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().map(|&a| u64::from(a)).sum()
+    }
+
+    /// Resets all locations and statistics (for trial reuse).
+    pub fn reset(&mut self) {
+        self.set.iter_mut().for_each(|s| *s = false);
+        self.winners.iter_mut().for_each(|w| *w = None);
+        self.accesses.iter_mut().for_each(|a| *a = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_is_unset() {
+        let mem = TasMemory::new(3);
+        assert_eq!(mem.len(), 3);
+        assert!(!mem.is_empty());
+        assert_eq!(mem.set_count(), 0);
+        assert_eq!(mem.total_accesses(), 0);
+        assert_eq!(mem.winner(0), None);
+    }
+
+    #[test]
+    fn empty_memory() {
+        let mem = TasMemory::new(0);
+        assert!(mem.is_empty());
+        assert_eq!(mem.max_accesses(), 0);
+    }
+
+    #[test]
+    fn first_tas_wins_then_loses() {
+        let mut mem = TasMemory::new(2);
+        assert!(mem.test_and_set(1, 5));
+        assert!(!mem.test_and_set(1, 6));
+        assert!(!mem.test_and_set(1, 5));
+        assert!(mem.is_set(1));
+        assert!(!mem.is_set(0));
+        assert_eq!(mem.winner(1), Some(5));
+        assert_eq!(mem.accesses(1), 3);
+        assert_eq!(mem.accesses(0), 0);
+        assert_eq!(mem.set_count(), 1);
+        assert_eq!(mem.max_accesses(), 3);
+        assert_eq!(mem.total_accesses(), 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut mem = TasMemory::new(2);
+        mem.test_and_set(0, 1);
+        mem.test_and_set(0, 2);
+        mem.reset();
+        assert_eq!(mem.set_count(), 0);
+        assert_eq!(mem.total_accesses(), 0);
+        assert_eq!(mem.winner(0), None);
+        assert!(mem.test_and_set(0, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_probe_panics() {
+        let mut mem = TasMemory::new(1);
+        mem.test_and_set(1, 0);
+    }
+}

@@ -1,0 +1,554 @@
+//! The execution runner: drives step machines under an adversary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adversary::{Adversary, PendingSet, RoundRobin, SchedView};
+use crate::{
+    Action, CrashPlan, ExecutionReport, MachineStats, Name, ProcessId, ProcessOutcome, Renamer,
+    SimError, TasMemory,
+};
+
+/// Default step budget multiplier: an execution of `n` processes over `m`
+/// locations may take at most `STEP_BUDGET_FACTOR * (n + m) * n.ilog2()`
+/// steps before the runner declares a livelock. Every algorithm in this
+/// workspace terminates in `O(n + m)` worst-case steps per process, so this
+/// bound is never hit by correct code.
+const STEP_BUDGET_FACTOR: u64 = 64;
+
+enum ProcessState {
+    Running,
+    Named(Name),
+    Crashed,
+    Stuck,
+}
+
+/// Builder for a simulated execution.
+///
+/// Configure the shared-memory size, the adversary, an optional crash plan
+/// and the random seed, then [`run`](Self::run) a vector of step machines.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub struct Execution {
+    memory_size: usize,
+    adversary: Box<dyn Adversary>,
+    crash_plan: CrashPlan,
+    seed: u64,
+    step_limit: Option<u64>,
+    tracing: bool,
+}
+
+impl fmt::Debug for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Execution")
+            .field("memory_size", &self.memory_size)
+            .field("adversary", &self.adversary.label())
+            .field("crashes", &self.crash_plan.crash_count())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl Execution {
+    /// Creates an execution over `memory_size` TAS locations, scheduled
+    /// round-robin with no crashes and seed 0.
+    pub fn new(memory_size: usize) -> Self {
+        Self {
+            memory_size,
+            adversary: Box::new(RoundRobin::new()),
+            crash_plan: CrashPlan::none(),
+            seed: 0,
+            step_limit: None,
+            tracing: false,
+        }
+    }
+
+    /// Enables probe-level tracing; the report's `trace` field will hold
+    /// every shared-memory step (costs memory proportional to total
+    /// steps).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Sets the adversarial scheduler.
+    pub fn adversary(mut self, adversary: Box<dyn Adversary>) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Sets the crash plan.
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Sets the master random seed. Per-process coin-flip streams and the
+    /// adversary's randomness are derived from it deterministically, so a
+    /// `(seed, machines, adversary, crash plan)` tuple fully reproduces an
+    /// execution.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the livelock step budget (see [`SimError::StepLimitExceeded`]).
+    pub fn step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = Some(limit);
+        self
+    }
+
+    /// Runs `machines` to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::DuplicateName`] if the algorithm under test violates
+    ///   uniqueness — the property tests rely on this check.
+    /// * [`SimError::ProbeOutOfBounds`] if a machine probes outside the
+    ///   memory.
+    /// * [`SimError::StepLimitExceeded`] on livelock.
+    /// * [`SimError::NoProcesses`] if `machines` is empty.
+    pub fn run(mut self, mut machines: Vec<Box<dyn Renamer>>) -> Result<ExecutionReport, SimError> {
+        let n = machines.len();
+        if n == 0 {
+            return Err(SimError::NoProcesses);
+        }
+        let step_limit = self.step_limit.unwrap_or_else(|| {
+            STEP_BUDGET_FACTOR
+                * (n as u64 + self.memory_size as u64)
+                * u64::from((n as u64).ilog2().max(1) + 1)
+        });
+
+        let mut memory = TasMemory::new(self.memory_size);
+        let mut pending = PendingSet::new(n);
+        let mut states: Vec<ProcessState> = (0..n).map(|_| ProcessState::Running).collect();
+        let mut steps = vec![0u64; n];
+        let mut rngs: Vec<StdRng> = (0..n as u64)
+            .map(|pid| StdRng::seed_from_u64(splitmix(self.seed ^ splitmix(pid))))
+            .collect();
+        let mut adv_rng = StdRng::seed_from_u64(splitmix(self.seed.wrapping_add(0x9e37_79b9)));
+        let mut holders: HashMap<usize, ProcessId> = HashMap::new();
+        let mut trace = self.tracing.then(crate::ExecutionTrace::new);
+
+        // Bootstrap: every process proposes its first action.
+        for pid in 0..n {
+            propose(
+                pid,
+                &mut machines,
+                &mut rngs,
+                &mut pending,
+                &mut states,
+                &mut holders,
+                self.memory_size,
+            )?;
+        }
+
+        let mut global_step = 0u64;
+        let mut crash_cursor = 0usize;
+        loop {
+            for victim in self.crash_plan.due(&mut crash_cursor, global_step) {
+                if victim < n && matches!(states[victim], ProcessState::Running) {
+                    states[victim] = ProcessState::Crashed;
+                    if pending.contains(victim) {
+                        pending.remove(victim);
+                    }
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            let pid = {
+                let view = SchedView {
+                    pending: &pending,
+                    memory: &memory,
+                    step: global_step,
+                };
+                self.adversary.next(&view, &mut adv_rng)
+            };
+            assert!(
+                pending.contains(pid),
+                "adversary `{}` scheduled non-pending process {pid}",
+                self.adversary.label()
+            );
+            let location = pending.location(pid);
+            let won = memory.test_and_set(location, pid);
+            if let Some(trace) = trace.as_mut() {
+                trace.push(crate::TraceEvent {
+                    step: global_step,
+                    pid,
+                    location,
+                    won,
+                });
+            }
+            steps[pid] += 1;
+            global_step += 1;
+            if global_step > step_limit {
+                return Err(SimError::StepLimitExceeded { limit: step_limit });
+            }
+            self.adversary.on_executed(pid, location, won, &pending);
+            machines[pid].observe(won);
+            pending.remove(pid);
+            propose(
+                pid,
+                &mut machines,
+                &mut rngs,
+                &mut pending,
+                &mut states,
+                &mut holders,
+                self.memory_size,
+            )?;
+        }
+
+        let outcomes: Vec<ProcessOutcome> = states
+            .iter()
+            .enumerate()
+            .map(|(pid, s)| match s {
+                ProcessState::Named(name) => ProcessOutcome::Named {
+                    name: *name,
+                    steps: steps[pid],
+                },
+                ProcessState::Crashed => ProcessOutcome::Crashed { steps: steps[pid] },
+                ProcessState::Stuck => ProcessOutcome::Stuck { steps: steps[pid] },
+                ProcessState::Running => {
+                    unreachable!("process {pid} still running after quiescence")
+                }
+            })
+            .collect();
+        let stats: Vec<MachineStats> = machines.iter().map(|m| m.stats()).collect();
+        Ok(ExecutionReport {
+            outcomes,
+            stats,
+            algorithm: machines
+                .first()
+                .map(|m| m.algorithm().to_owned())
+                .unwrap_or_default(),
+            adversary: self.adversary.label().to_owned(),
+            total_steps: global_step,
+            layers: self.adversary.layers(),
+            memory_len: memory.len(),
+            set_count: memory.set_count(),
+            max_location_accesses: memory.max_accesses(),
+            trace,
+        })
+    }
+}
+
+/// Asks `pid`'s machine for its next action and registers it; finalizes the
+/// process if it terminates.
+fn propose(
+    pid: ProcessId,
+    machines: &mut [Box<dyn Renamer>],
+    rngs: &mut [StdRng],
+    pending: &mut PendingSet,
+    states: &mut [ProcessState],
+    holders: &mut HashMap<usize, ProcessId>,
+    memory_size: usize,
+) -> Result<(), SimError> {
+    match machines[pid].propose(&mut rngs[pid]) {
+        Action::Probe(location) => {
+            if location >= memory_size {
+                return Err(SimError::ProbeOutOfBounds {
+                    pid,
+                    location,
+                    memory: memory_size,
+                });
+            }
+            pending.add(pid, location);
+            Ok(())
+        }
+        Action::Done(name) => {
+            if let Some(&first) = holders.get(&name.value()) {
+                return Err(SimError::DuplicateName {
+                    name,
+                    first,
+                    second: pid,
+                });
+            }
+            holders.insert(name.value(), pid);
+            states[pid] = ProcessState::Named(name);
+            Ok(())
+        }
+        Action::Stuck => {
+            states[pid] = ProcessState::Stuck;
+            Ok(())
+        }
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates per-process seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{LayeredPermutation, UniformRandom};
+    use rand::Rng;
+    use rand::RngCore;
+
+    /// Scans locations left to right; wins the first free one.
+    struct Scan {
+        next: usize,
+        done: Option<Name>,
+    }
+
+    impl Scan {
+        fn boxed() -> Box<dyn Renamer> {
+            Box::new(Scan {
+                next: 0,
+                done: None,
+            })
+        }
+    }
+
+    impl Renamer for Scan {
+        fn propose(&mut self, _rng: &mut dyn RngCore) -> Action {
+            match self.done {
+                Some(name) => Action::Done(name),
+                None => Action::Probe(self.next),
+            }
+        }
+        fn observe(&mut self, won: bool) {
+            if won {
+                self.done = Some(Name::new(self.next));
+            } else {
+                self.next += 1;
+            }
+        }
+        fn name(&self) -> Option<Name> {
+            self.done
+        }
+        fn algorithm(&self) -> &'static str {
+            "scan"
+        }
+    }
+
+    /// Pathological machine: probes location 0 forever.
+    struct Stubborn;
+    impl Renamer for Stubborn {
+        fn propose(&mut self, _rng: &mut dyn RngCore) -> Action {
+            Action::Probe(0)
+        }
+        fn observe(&mut self, _won: bool) {}
+        fn name(&self) -> Option<Name> {
+            None
+        }
+    }
+
+    /// Broken machine: everyone returns name 0 without probing.
+    struct Broken;
+    impl Renamer for Broken {
+        fn propose(&mut self, _rng: &mut dyn RngCore) -> Action {
+            Action::Done(Name::new(0))
+        }
+        fn observe(&mut self, _won: bool) {}
+        fn name(&self) -> Option<Name> {
+            Some(Name::new(0))
+        }
+    }
+
+    /// Probes a random in-range location until winning one.
+    struct RandomProbe {
+        m: usize,
+        last: usize,
+        done: Option<Name>,
+    }
+    impl Renamer for RandomProbe {
+        fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+            match self.done {
+                Some(name) => Action::Done(name),
+                None => {
+                    self.last = (rng.gen::<u64>() as usize) % self.m;
+                    Action::Probe(self.last)
+                }
+            }
+        }
+        fn observe(&mut self, won: bool) {
+            if won {
+                self.done = Some(Name::new(self.last));
+            }
+        }
+        fn name(&self) -> Option<Name> {
+            self.done
+        }
+        fn algorithm(&self) -> &'static str {
+            "random-probe"
+        }
+    }
+
+    #[test]
+    fn scan_machines_get_sequential_names() {
+        let machines: Vec<Box<dyn Renamer>> = (0..5).map(|_| Scan::boxed()).collect();
+        let report = Execution::new(5).run(machines).expect("run");
+        let mut names: Vec<usize> = report
+            .assigned_names()
+            .into_iter()
+            .map(Name::value)
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, vec![0, 1, 2, 3, 4]);
+        assert_eq!(report.named_count(), 5);
+        assert_eq!(report.algorithm, "scan");
+        assert_eq!(report.adversary, "round-robin");
+    }
+
+    #[test]
+    fn empty_machines_error() {
+        let err = Execution::new(4).run(Vec::new()).unwrap_err();
+        assert_eq!(err, SimError::NoProcesses);
+    }
+
+    #[test]
+    fn duplicate_names_detected() {
+        let machines: Vec<Box<dyn Renamer>> = vec![Box::new(Broken), Box::new(Broken)];
+        let err = Execution::new(1).run(machines).unwrap_err();
+        assert!(matches!(err, SimError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_probe_detected() {
+        let machines: Vec<Box<dyn Renamer>> = vec![Box::new(Scan {
+            next: 10,
+            done: None,
+        })];
+        let err = Execution::new(2).run(machines).unwrap_err();
+        assert!(matches!(err, SimError::ProbeOutOfBounds { location: 10, .. }));
+    }
+
+    #[test]
+    fn livelock_hits_step_limit() {
+        let machines: Vec<Box<dyn Renamer>> = vec![Box::new(Stubborn), Box::new(Stubborn)];
+        let err = Execution::new(1)
+            .step_limit(1000)
+            .run(machines)
+            .unwrap_err();
+        assert_eq!(err, SimError::StepLimitExceeded { limit: 1000 });
+    }
+
+    #[test]
+    fn crashed_processes_take_no_steps_and_get_no_name() {
+        let machines: Vec<Box<dyn Renamer>> = (0..4).map(|_| Scan::boxed()).collect();
+        let report = Execution::new(4)
+            .crash_plan(CrashPlan::at_steps(vec![(0, 3)]))
+            .run(machines)
+            .expect("run");
+        assert_eq!(report.named_count(), 3);
+        assert_eq!(report.crashed_count(), 1);
+        assert_eq!(report.outcomes[3].steps(), 0);
+        assert_eq!(report.outcomes[3].name(), None);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = |seed: u64| {
+            let machines: Vec<Box<dyn Renamer>> = (0..16)
+                .map(|_| {
+                    Box::new(RandomProbe {
+                        m: 32,
+                        last: 0,
+                        done: None,
+                    }) as Box<dyn Renamer>
+                })
+                .collect();
+            Execution::new(32)
+                .adversary(Box::new(UniformRandom::new()))
+                .seed(seed)
+                .run(machines)
+                .expect("run")
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.assigned_names(), b.assigned_names());
+        assert_eq!(a.total_steps, b.total_steps);
+        let c = run(43);
+        // Different seed virtually surely gives a different execution.
+        assert!(a.assigned_names() != c.assigned_names() || a.total_steps != c.total_steps);
+    }
+
+    #[test]
+    fn layered_adversary_reports_layers() {
+        let machines: Vec<Box<dyn Renamer>> = (0..8).map(|_| Scan::boxed()).collect();
+        let report = Execution::new(8)
+            .adversary(Box::new(LayeredPermutation::new()))
+            .seed(3)
+            .run(machines)
+            .expect("run");
+        let layers = report.layers.expect("layered adversary counts layers");
+        assert!(layers >= 1);
+        // Scanning 8 processes over 8 slots takes at most 8 layers.
+        assert!(layers <= 8, "layers = {layers}");
+    }
+
+    #[test]
+    fn total_steps_accounts_every_probe() {
+        let machines: Vec<Box<dyn Renamer>> = (0..3).map(|_| Scan::boxed()).collect();
+        let report = Execution::new(3).run(machines).expect("run");
+        let per_process: u64 = report.outcomes.iter().map(|o| o.steps()).sum();
+        assert_eq!(per_process, report.total_steps);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::Action;
+    use rand::RngCore;
+
+    struct Scan {
+        next: usize,
+        won: Option<Name>,
+    }
+    impl Renamer for Scan {
+        fn propose(&mut self, _rng: &mut dyn RngCore) -> Action {
+            match self.won {
+                Some(name) => Action::Done(name),
+                None => Action::Probe(self.next),
+            }
+        }
+        fn observe(&mut self, won: bool) {
+            if won {
+                self.won = Some(Name::new(self.next));
+            } else {
+                self.next += 1;
+            }
+        }
+        fn name(&self) -> Option<Name> {
+            self.won
+        }
+    }
+
+    #[test]
+    fn tracing_records_every_step_and_verifies() {
+        let machines: Vec<Box<dyn Renamer>> = (0..4)
+            .map(|_| Box::new(Scan { next: 0, won: None }) as Box<dyn Renamer>)
+            .collect();
+        let report = Execution::new(4)
+            .tracing(true)
+            .seed(1)
+            .run(machines)
+            .expect("run");
+        let trace = report.trace.as_ref().expect("trace enabled");
+        assert_eq!(trace.len() as u64, report.total_steps);
+        assert!(trace.verify(), "trace consistency");
+        assert_eq!(trace.wins().len(), 4);
+        // Location 0 is the hotspot for scanning machines.
+        assert_eq!(trace.hotspots()[0].0, 0);
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let machines: Vec<Box<dyn Renamer>> =
+            vec![Box::new(Scan { next: 0, won: None })];
+        let report = Execution::new(1).run(machines).expect("run");
+        assert!(report.trace.is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Model-based property tests for the scheduler's `PendingSet`: a random
+//! sequence of add/remove operations must agree with a naive
+//! `HashMap`-based reference model at every step.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use renaming_sim::adversary::PendingSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { pid: usize, location: usize },
+    Remove { pid: usize },
+}
+
+fn ops(n: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..n, 0..64usize).prop_map(|(pid, location)| Op::Add { pid, location }),
+            (0..n).prop_map(|pid| Op::Remove { pid }),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pending_set_matches_reference_model(ops in ops(24)) {
+        let n = 24;
+        let mut real = PendingSet::new(n);
+        let mut model: HashMap<usize, usize> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Add { pid, location } => {
+                    if model.contains_key(&pid) {
+                        continue; // double-add panics by contract; skip
+                    }
+                    real.add_for_test(pid, location);
+                    model.insert(pid, location);
+                }
+                Op::Remove { pid } => {
+                    if !model.contains_key(&pid) {
+                        continue;
+                    }
+                    real.remove_for_test(pid);
+                    model.remove(&pid);
+                }
+            }
+            // Full agreement after every operation.
+            prop_assert_eq!(real.len(), model.len());
+            for pid in 0..n {
+                prop_assert_eq!(real.contains(pid), model.contains_key(&pid), "pid {}", pid);
+                if let Some(&loc) = model.get(&pid) {
+                    prop_assert_eq!(real.location(pid), loc);
+                    prop_assert!(real.pids_at(loc).contains(&pid));
+                }
+            }
+            // Location index holds exactly the modelled pids.
+            let mut by_loc: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (&pid, &loc) in &model {
+                by_loc.entry(loc).or_default().push(pid);
+            }
+            for (&loc, pids) in &by_loc {
+                let mut real_pids: Vec<usize> = real.pids_at(loc).to_vec();
+                let mut model_pids = pids.clone();
+                real_pids.sort_unstable();
+                model_pids.sort_unstable();
+                prop_assert_eq!(real_pids, model_pids, "location {}", loc);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_agrees_with_membership(adds in prop::collection::hash_set(0..32usize, 0..32)) {
+        let mut set = PendingSet::new(32);
+        for &pid in &adds {
+            set.add_for_test(pid, pid * 3);
+        }
+        let mut from_iter: Vec<usize> = set.iter().collect();
+        from_iter.sort_unstable();
+        let mut expected: Vec<usize> = adds.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(from_iter, expected);
+    }
+}

@@ -1,0 +1,117 @@
+//! Instrumentation wrapper counting TAS operations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Tas, TasResult};
+
+/// A [`Tas`] wrapper that counts operations.
+///
+/// The paper's complexity measures are *step complexity* (maximum number of
+/// shared-memory steps by any process) and *total step complexity* (work).
+/// On real hardware we cannot intercept process scheduling, but we can count
+/// shared-memory operations; `CountingTas` is how the benchmark harness
+/// measures steps of the threaded implementations.
+///
+/// # Example
+///
+/// ```
+/// use renaming_tas::{AtomicTas, CountingTas, Tas};
+///
+/// let t = CountingTas::new(AtomicTas::new());
+/// t.test_and_set();
+/// t.test_and_set();
+/// t.is_set();
+/// assert_eq!(t.tas_ops(), 2);
+/// assert_eq!(t.read_ops(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CountingTas<T> {
+    inner: T,
+    tas_ops: AtomicU64,
+    read_ops: AtomicU64,
+}
+
+impl<T: Tas> CountingTas<T> {
+    /// Wraps `inner`, starting all counters at zero.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner,
+            tas_ops: AtomicU64::new(0),
+            read_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of `test_and_set` calls so far.
+    pub fn tas_ops(&self) -> u64 {
+        self.tas_ops.load(Ordering::Relaxed)
+    }
+
+    /// Number of `is_set` calls so far.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops.load(Ordering::Relaxed)
+    }
+
+    /// Total shared-memory operations (`test_and_set` + `is_set`).
+    pub fn total_ops(&self) -> u64 {
+        self.tas_ops() + self.read_ops()
+    }
+
+    /// Resets all counters to zero (the wrapped object is untouched).
+    pub fn reset_counters(&self) {
+        self.tas_ops.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+    }
+
+    /// Consumes the wrapper, returning the wrapped TAS object.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Tas> Tas for CountingTas<T> {
+    fn test_and_set(&self) -> TasResult {
+        self.tas_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner.test_and_set()
+    }
+
+    fn is_set(&self) -> bool {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner.is_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AtomicTas;
+
+    #[test]
+    fn counts_operations() {
+        let t = CountingTas::new(AtomicTas::new());
+        assert_eq!(t.total_ops(), 0);
+        assert!(t.test_and_set().won());
+        assert!(t.test_and_set().lost());
+        assert!(t.is_set());
+        assert_eq!(t.tas_ops(), 2);
+        assert_eq!(t.read_ops(), 1);
+        assert_eq!(t.total_ops(), 3);
+    }
+
+    #[test]
+    fn reset_counters_keeps_state() {
+        let t = CountingTas::new(AtomicTas::new());
+        assert!(t.test_and_set().won());
+        t.reset_counters();
+        assert_eq!(t.total_ops(), 0);
+        // The underlying object is still won.
+        assert!(t.test_and_set().lost());
+    }
+
+    #[test]
+    fn into_inner_returns_wrapped_object() {
+        let t = CountingTas::new(AtomicTas::new());
+        assert!(t.test_and_set().won());
+        let inner = t.into_inner();
+        assert!(inner.is_set());
+    }
+}

@@ -1,0 +1,164 @@
+//! Test-and-set (TAS) substrate for the loose-renaming algorithms of
+//! Alistarh, Aspnes, Giakkoupis and Woelfel (PODC 2013).
+//!
+//! The paper assumes *hardware* test-and-set: a one-shot shared object on
+//! which a process **wins** if it is the first to flip the object's value,
+//! and **loses** otherwise (§2 of the paper). This crate provides:
+//!
+//! * [`Tas`] — the one-shot test-and-set trait, and [`AtomicTas`], the
+//!   hardware implementation backed by [`core::sync::atomic::AtomicBool`].
+//! * [`TasArray`] — a cache-padded array of TAS objects, the shared-memory
+//!   layout used by every renaming algorithm in the companion crates.
+//! * [`CountingTas`] — an instrumentation wrapper that counts operations,
+//!   used by the experiment harness to measure step complexity on real
+//!   hardware.
+//! * [`rwtas`] — a randomized test-and-set built from read/write registers
+//!   only (a reproduction of the substitute the paper references in §2 and
+//!   footnote 1: leader-election-grade TAS in the spirit of refs [6, 22]).
+//!
+//! # Example
+//!
+//! ```
+//! use renaming_tas::{AtomicTas, Tas, TasResult};
+//!
+//! let t = AtomicTas::new();
+//! assert_eq!(t.test_and_set(), TasResult::Won);
+//! assert_eq!(t.test_and_set(), TasResult::Lost);
+//! assert!(t.is_set());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod atomic;
+mod counting;
+mod tas_array;
+mod ticket;
+
+pub mod rwtas;
+
+pub use atomic::AtomicTas;
+pub use counting::CountingTas;
+pub use tas_array::TasArray;
+pub use ticket::TicketTas;
+
+/// Outcome of a test-and-set operation.
+///
+/// A process *wins* a TAS object if it is the first to change the object's
+/// value (the paper's convention: the winning operation returns 0, all later
+/// operations return 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TasResult {
+    /// The caller changed the value: it owns the object.
+    Won,
+    /// The object had already been won by another caller.
+    Lost,
+}
+
+impl TasResult {
+    /// Returns `true` if the caller won the object.
+    ///
+    /// ```
+    /// use renaming_tas::TasResult;
+    /// assert!(TasResult::Won.won());
+    /// assert!(!TasResult::Lost.won());
+    /// ```
+    #[inline]
+    pub fn won(self) -> bool {
+        matches!(self, TasResult::Won)
+    }
+
+    /// Returns `true` if the caller lost the object.
+    #[inline]
+    pub fn lost(self) -> bool {
+        !self.won()
+    }
+
+    /// Converts a "did I win?" boolean into a `TasResult`.
+    #[inline]
+    pub fn from_won(won: bool) -> Self {
+        if won {
+            TasResult::Won
+        } else {
+            TasResult::Lost
+        }
+    }
+}
+
+/// A one-shot test-and-set object.
+///
+/// Exactly one caller over the object's lifetime observes [`TasResult::Won`];
+/// every other call returns [`TasResult::Lost`]. Implementations must be
+/// linearizable for the purposes of this crate's algorithms, *except* the
+/// register-based objects in [`rwtas`], which provide the weaker
+/// leader-election guarantee the paper's footnote 1 requires (at most one
+/// winner, and a winner exists in every complete fault-free execution).
+pub trait Tas: Send + Sync {
+    /// Performs the test-and-set operation.
+    fn test_and_set(&self) -> TasResult;
+
+    /// Reads the current value without modifying it.
+    ///
+    /// Returns `true` once some caller has won the object.
+    fn is_set(&self) -> bool;
+}
+
+/// A test-and-set object that needs to know the caller's identity.
+///
+/// The register-based [`rwtas::TournamentTas`] routes each contender through
+/// a per-process leaf, so the caller must supply a process id in
+/// `0..capacity`. Every [`Tas`] is trivially an [`IdTas`] that ignores the
+/// id.
+pub trait IdTas: Send + Sync {
+    /// Performs the test-and-set operation on behalf of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `pid` is out of range or reused
+    /// concurrently by two threads.
+    fn test_and_set_as(&self, pid: usize) -> TasResult;
+
+    /// Reads the current value without modifying it.
+    fn is_set(&self) -> bool;
+}
+
+impl<T: Tas> IdTas for T {
+    fn test_and_set_as(&self, _pid: usize) -> TasResult {
+        self.test_and_set()
+    }
+
+    fn is_set(&self) -> bool {
+        Tas::is_set(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tas_result_roundtrip() {
+        assert_eq!(TasResult::from_won(true), TasResult::Won);
+        assert_eq!(TasResult::from_won(false), TasResult::Lost);
+        assert!(TasResult::Won.won());
+        assert!(TasResult::Lost.lost());
+        assert!(!TasResult::Won.lost());
+        assert!(!TasResult::Lost.won());
+    }
+
+    #[test]
+    fn id_tas_blanket_impl_ignores_pid() {
+        let t = AtomicTas::new();
+        assert!(t.test_and_set_as(7).won());
+        assert!(t.test_and_set_as(7).lost());
+        assert!(IdTas::is_set(&t));
+    }
+
+    #[test]
+    fn traits_are_object_safe() {
+        let t: Box<dyn Tas> = Box::new(AtomicTas::new());
+        assert!(t.test_and_set().won());
+        let i: Box<dyn IdTas> = Box::new(AtomicTas::new());
+        assert!(i.test_and_set_as(0).won());
+    }
+}

@@ -1,0 +1,323 @@
+//! Two-process randomized test-and-set from single-writer registers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use rand::Rng;
+
+use crate::TasResult;
+
+/// Which of the two contender slots a caller occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Contender 0.
+    Left,
+    /// Contender 1.
+    Right,
+}
+
+impl Side {
+    /// The opposing side.
+    #[inline]
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// Index (0 for [`Side::Left`], 1 for [`Side::Right`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+}
+
+// Per-side state register encoding. Each register is single-writer:
+// only the owning side stores to it; the opponent only loads.
+const STATE_NONE: usize = 0; // entered the door, race state not yet published
+const STATE_WON_FAST: usize = 1; // won via the empty-door fast path
+const STATE_WON_SLOW: usize = 2; // won the round race (opponent quit)
+const STATE_QUIT: usize = 3; // lost: observed the opponent ahead
+const STATE_RACING_BASE: usize = 4; // STATE_RACING_BASE + r  <=>  racing at round r
+
+#[inline]
+fn racing(round: usize) -> usize {
+    STATE_RACING_BASE + round
+}
+
+/// A randomized one-shot test-and-set object for **two** processes built
+/// from single-writer read/write registers.
+///
+/// The protocol is a doorway followed by a round race (in the spirit of
+/// Tromp–Vitányi leader election):
+///
+/// 1. *Doorway*: the caller raises its door bit, then reads the opponent's
+///    door. If the opponent has not entered, the caller wins on the fast
+///    path (publishing `WonFast` so a late opponent observes the decision).
+/// 2. *Round race*: both contenders hold a round counter, initially 0,
+///    published through their state register. Each iteration a contender
+///    reads the opponent's state:
+///    * opponent quit or still unseen after winning — win / keep waiting;
+///    * opponent **ahead** — publish `Quit`, lose;
+///    * opponent *tied* — flip a fair coin; on heads advance to the next
+///      round (publishing it);
+///    * opponent *behind* — wait; the opponent must observe us ahead and
+///      quit.
+///
+/// # Safety argument (at most one winner, in every execution)
+///
+/// * Two fast-path wins are impossible: if both read the other's door as
+///   down, each read preceded the other's door write, which precedes that
+///   side's door read — a cycle.
+/// * In the race, a contender quits only after observing the opponent at a
+///   strictly larger round. Rounds are monotone and a quitter stops
+///   advancing, so if `L` quit after seeing `R` ahead, `R` can never
+///   subsequently observe `L` ahead. Hence at most one `Quit`, and a win is
+///   only claimed after observing `Quit` (or `WonFast`/`WonSlow`,
+///   published strictly after the opponent's decision).
+///
+/// # Termination
+///
+/// With probability 1 in executions where both contenders keep taking
+/// steps: a tied round resolves with probability 1/2 per double coin flip.
+/// If the opponent crashes mid-race the survivor may spin — the
+/// leader-election caveat described at the [module level](crate::rwtas).
+///
+/// Calls are idempotent per side: calling `test_and_set_on` again after a
+/// decision returns the same result without re-racing.
+///
+/// # Example
+///
+/// ```
+/// use renaming_tas::rwtas::{Side, TwoProcessTas};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let t = TwoProcessTas::new();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// assert!(t.test_and_set_on(Side::Left, &mut rng).won());
+/// assert!(t.test_and_set_on(Side::Right, &mut rng).lost());
+/// ```
+#[derive(Debug, Default)]
+pub struct TwoProcessTas {
+    door: [AtomicBool; 2],
+    state: [AtomicUsize; 2],
+    register_ops: AtomicU64,
+}
+
+impl TwoProcessTas {
+    /// Creates a fresh, undecided object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total register operations (loads + stores) performed on this object.
+    ///
+    /// Used by experiment E14 to compare the register substrate against
+    /// hardware TAS. The counter itself uses an atomic add, which is
+    /// instrumentation, not part of the protocol.
+    pub fn register_ops(&self) -> u64 {
+        self.register_ops.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn load_state(&self, side: Side) -> usize {
+        self.register_ops.fetch_add(1, Ordering::Relaxed);
+        self.state[side.index()].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn store_state(&self, side: Side, value: usize) {
+        self.register_ops.fetch_add(1, Ordering::Relaxed);
+        self.state[side.index()].store(value, Ordering::Release);
+    }
+
+    #[inline]
+    fn load_door(&self, side: Side) -> bool {
+        self.register_ops.fetch_add(1, Ordering::Relaxed);
+        self.door[side.index()].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn store_door(&self, side: Side) {
+        self.register_ops.fetch_add(1, Ordering::Relaxed);
+        self.door[side.index()].store(true, Ordering::Release);
+    }
+
+    /// Runs the protocol for `side`, drawing coins from `rng`.
+    ///
+    /// See the type-level documentation for guarantees.
+    pub fn test_and_set_on<R: Rng + ?Sized>(&self, side: Side, rng: &mut R) -> TasResult {
+        // Idempotent re-entry: if this side already decided, repeat it.
+        match self.state[side.index()].load(Ordering::Acquire) {
+            STATE_WON_FAST | STATE_WON_SLOW => return TasResult::Won,
+            STATE_QUIT => return TasResult::Lost,
+            _ => {}
+        }
+
+        let me = side;
+        let peer = side.other();
+
+        // Doorway.
+        self.store_door(me);
+        if !self.load_door(peer) {
+            self.store_state(me, STATE_WON_FAST);
+            return TasResult::Won;
+        }
+
+        // Round race.
+        let mut my_round = 0usize;
+        self.store_state(me, racing(my_round));
+        let mut spins = 0u32;
+        loop {
+            match self.load_state(peer) {
+                STATE_WON_FAST | STATE_WON_SLOW => {
+                    self.store_state(me, STATE_QUIT);
+                    return TasResult::Lost;
+                }
+                STATE_QUIT => {
+                    self.store_state(me, STATE_WON_SLOW);
+                    return TasResult::Won;
+                }
+                STATE_NONE => {
+                    // Peer passed the doorway but has not published its race
+                    // state yet; it will, unless it crashed.
+                    Self::pause(&mut spins);
+                }
+                peer_state => {
+                    let peer_round = peer_state - STATE_RACING_BASE;
+                    if peer_round > my_round {
+                        self.store_state(me, STATE_QUIT);
+                        return TasResult::Lost;
+                    } else if peer_round == my_round {
+                        if rng.gen::<bool>() {
+                            my_round += 1;
+                            self.store_state(me, racing(my_round));
+                        }
+                    } else {
+                        // Peer is behind; it must observe us and quit.
+                        Self::pause(&mut spins);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::test_and_set_on`] but also reports the number of
+    /// register operations this call performed.
+    pub fn test_and_set_counted<R: Rng + ?Sized>(
+        &self,
+        side: Side,
+        rng: &mut R,
+    ) -> (TasResult, u64) {
+        let before = self.register_ops();
+        let result = self.test_and_set_on(side, rng);
+        (result, self.register_ops().saturating_sub(before))
+    }
+
+    /// Returns the winning side once the object is decided.
+    pub fn winner(&self) -> Option<Side> {
+        for side in [Side::Left, Side::Right] {
+            match self.state[side.index()].load(Ordering::Acquire) {
+                STATE_WON_FAST | STATE_WON_SLOW => return Some(side),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Advisory: `true` once a winner has been published.
+    pub fn is_decided(&self) -> bool {
+        self.winner().is_some()
+    }
+
+    #[inline]
+    fn pause(spins: &mut u32) {
+        *spins += 1;
+        if *spins % 64 == 0 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_caller_wins_fast_path() {
+        let t = TwoProcessTas::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(t.test_and_set_on(Side::Right, &mut rng).won());
+        assert_eq!(t.winner(), Some(Side::Right));
+        assert!(t.is_decided());
+    }
+
+    #[test]
+    fn second_caller_loses() {
+        let t = TwoProcessTas::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(t.test_and_set_on(Side::Left, &mut rng).won());
+        assert!(t.test_and_set_on(Side::Right, &mut rng).lost());
+        assert_eq!(t.winner(), Some(Side::Left));
+    }
+
+    #[test]
+    fn reentry_is_idempotent() {
+        let t = TwoProcessTas::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(t.test_and_set_on(Side::Left, &mut rng).won());
+        assert!(t.test_and_set_on(Side::Left, &mut rng).won());
+        assert!(t.test_and_set_on(Side::Right, &mut rng).lost());
+        assert!(t.test_and_set_on(Side::Right, &mut rng).lost());
+    }
+
+    #[test]
+    fn counts_register_ops() {
+        let t = TwoProcessTas::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (res, ops) = t.test_and_set_counted(Side::Left, &mut rng);
+        assert!(res.won());
+        // Fast path: door store, door load, state store.
+        assert_eq!(ops, 3);
+    }
+
+    #[test]
+    fn undecided_object_reports_no_winner() {
+        let t = TwoProcessTas::new();
+        assert_eq!(t.winner(), None);
+        assert!(!t.is_decided());
+    }
+
+    #[test]
+    fn concurrent_race_has_exactly_one_winner() {
+        for seed in 0..200 {
+            let t = Arc::new(TwoProcessTas::new());
+            let handles: Vec<_> = [Side::Left, Side::Right]
+                .into_iter()
+                .enumerate()
+                .map(|(k, side)| {
+                    let t = Arc::clone(&t);
+                    std::thread::spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed * 2 + k as u64);
+                        t.test_and_set_on(side, &mut rng).won()
+                    })
+                })
+                .collect();
+            let wins = handles
+                .into_iter()
+                .map(|h| h.join().expect("thread panicked"))
+                .filter(|won| *won)
+                .count();
+            assert_eq!(wins, 1, "seed {seed}: expected exactly one winner");
+        }
+    }
+}

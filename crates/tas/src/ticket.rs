@@ -1,0 +1,139 @@
+//! Adapter from caller-identified TAS objects to anonymous ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::{IdTas, Tas, TasResult};
+
+/// Adapts an [`IdTas`] (which needs caller identities, like the
+/// register-based [`crate::rwtas::TournamentTas`]) into an anonymous
+/// [`Tas`] by handing each arriving call a fresh ticket id.
+///
+/// This is what lets the renaming algorithms — written against anonymous
+/// TAS slots — run end-to-end on the read/write-register substrate: wrap
+/// every slot's tournament in a `TicketTas` and plug the array into
+/// [`crate::TasArray`].
+///
+/// The ticket counter itself is a fetch-and-add, i.e. *not* a plain
+/// register operation. The paper's reduction does not need it (there,
+/// process ids are known a priori and each process calls a TAS object at
+/// most once per identity); the counter is an artifact of exposing the
+/// object through an anonymous interface, and is documented as such in
+/// `DESIGN.md` (D6).
+///
+/// Calls beyond the wrapped object's capacity lose without racing — by
+/// then the object is guaranteed decided, so this preserves TAS semantics.
+///
+/// # Example
+///
+/// ```
+/// use renaming_tas::rwtas::TournamentTas;
+/// use renaming_tas::{Tas, TicketTas};
+///
+/// let t = TicketTas::new(TournamentTas::new(4));
+/// assert!(t.test_and_set().won());
+/// assert!(t.test_and_set().lost());
+/// ```
+#[derive(Debug)]
+pub struct TicketTas<T> {
+    inner: T,
+    capacity: usize,
+    next_ticket: AtomicUsize,
+}
+
+impl TicketTas<crate::rwtas::TournamentTas> {
+    /// Wraps a tournament, inheriting its capacity.
+    pub fn new(inner: crate::rwtas::TournamentTas) -> Self {
+        let capacity = inner.capacity();
+        Self::with_capacity(inner, capacity)
+    }
+}
+
+impl<T: IdTas> TicketTas<T> {
+    /// Wraps an arbitrary [`IdTas`] accepting ids `0..capacity`.
+    pub fn with_capacity(inner: T, capacity: usize) -> Self {
+        Self {
+            inner,
+            capacity,
+            next_ticket: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tickets handed out so far.
+    pub fn tickets_issued(&self) -> usize {
+        self.next_ticket.load(Ordering::Relaxed).min(self.capacity)
+    }
+
+    /// Borrows the wrapped object.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: IdTas> Tas for TicketTas<T> {
+    fn test_and_set(&self) -> TasResult {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        if ticket >= self.capacity {
+            // The object saw `capacity` contenders already; it is decided
+            // (or will be, by contenders that entered before us), and we
+            // were not the first — losing is sound.
+            return TasResult::Lost;
+        }
+        self.inner.test_and_set_as(ticket)
+    }
+
+    fn is_set(&self) -> bool {
+        self.inner.is_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rwtas::TournamentTas;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_caller_wins_rest_lose() {
+        let t = TicketTas::new(TournamentTas::new(4));
+        assert!(t.test_and_set().won());
+        for _ in 0..6 {
+            assert!(t.test_and_set().lost());
+        }
+        assert!(Tas::is_set(&t));
+        assert_eq!(t.tickets_issued(), 4); // clamped at capacity
+    }
+
+    #[test]
+    fn over_capacity_calls_lose_without_racing() {
+        let t = TicketTas::new(TournamentTas::new(2));
+        assert!(t.test_and_set().won());
+        assert!(t.test_and_set().lost());
+        // Third call exceeds capacity: guaranteed loss.
+        assert!(t.test_and_set().lost());
+    }
+
+    #[test]
+    fn concurrent_tickets_single_winner() {
+        for trial in 0..20 {
+            let t = Arc::new(TicketTas::new(TournamentTas::new(8)));
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let t = Arc::clone(&t);
+                    std::thread::spawn(move || t.test_and_set().won())
+                })
+                .collect();
+            let winners = handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .filter(|w| *w)
+                .count();
+            assert_eq!(winners, 1, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn inner_access() {
+        let t = TicketTas::new(TournamentTas::new(2));
+        assert_eq!(t.inner().capacity(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! A tour of the §6 lower bound as executable mathematics.
+//!
+//! Three views of "any TAS-based loose renaming needs Ω(log log n) steps":
+//!
+//! 1. the coupling gadget of Lemma 6.5 (cdf domination, checked on a grid);
+//! 2. the exact rate recurrence — layers until the surviving rate drops
+//!    below a constant grow like lg lg n;
+//! 3. the Monte-Carlo marking simulation of the layered execution, whose
+//!    realized survivor counts track the analytic rates.
+//!
+//! ```text
+//! cargo run --release --example lower_bound_tour
+//! ```
+
+use loose_renaming::lowerbound::types::uniform_types;
+use loose_renaming::lowerbound::{
+    predicted_layers, run_marking, uniform_extinction_layers, verify_lemma_6_5, CoupledPoisson,
+    MarkingConfig,
+};
+
+fn main() {
+    // 1. Lemma 6.5 on a grid.
+    let lambdas = [0.05, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 256.0];
+    let worst = verify_lemma_6_5(&lambdas, 512);
+    println!("Lemma 6.5  P_l(n+1) <= P_g(n): worst margin over the grid = {worst:.3e}");
+    let c = CoupledPoisson::new(2.0);
+    println!(
+        "           e.g. lambda = 2 couples with gamma = {} (= min(l^2/4, l/4))\n",
+        c.gamma()
+    );
+
+    // 2. The rate recurrence.
+    println!("Theorem 6.1 skeleton: layers until the surviving rate < 4 (lambda0 = n/2, s = 2n)");
+    println!("  {:>6}  {:>7}  {:>10}", "n", "layers", "lg lg n");
+    for e in [8u32, 12, 16, 24, 32, 48] {
+        let n = 1u64 << e;
+        let layers = uniform_extinction_layers(n as f64 / 2.0, 2 * n as usize, 4.0, 128);
+        println!("  2^{e:<4}  {layers:>7}  {:>10.2}", (e as f64).log2());
+    }
+    println!("  (each doubling of the exponent adds ~1 layer: the lg lg n signature)\n");
+
+    // 3. Monte-Carlo marking.
+    let n = 1 << 14;
+    let s = 2 * n;
+    let types = uniform_types(2 * n, s, 10, 1);
+    let outcomes = run_marking(
+        MarkingConfig {
+            n,
+            s,
+            layers: 10,
+            seed: 2,
+        },
+        &types,
+    );
+    println!("Marking simulation, n = {n}: marked survivors vs the analytic rate");
+    println!("  {:>5}  {:>10}  {:>12}", "layer", "marked", "lambda");
+    for o in &outcomes {
+        println!("  {:>5}  {:>10}  {:>12.2}", o.layer, o.marked, o.lambda);
+    }
+    println!(
+        "\npredicted survival floor: layer {} — processes remain unnamed at least that long,\n\
+         matching the paper's Omega(log log n) lower bound.",
+        predicted_layers(n as f64 / 2.0, s)
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: 32 threads pick unique names from a namespace of 64.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use loose_renaming::core::{Epsilon, Rebatching};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 32;
+    // Namespace (1+ε)n = 64 with ε = 1 — the paper's ReBatching object.
+    let object = Arc::new(Rebatching::with_defaults(n, Epsilon::one())?);
+    println!(
+        "ReBatching object: capacity {} processes, namespace {} names, {} batches",
+        object.capacity(),
+        object.namespace_size(),
+        object.layout().batch_count(),
+    );
+
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let object = Arc::clone(&object);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(i as u64);
+                let name = object.get_name(&mut rng).expect("within capacity");
+                (i, name)
+            })
+        })
+        .collect();
+
+    let mut results: Vec<(usize, usize)> = handles
+        .into_iter()
+        .map(|h| {
+            let (thread, name) = h.join().expect("thread panicked");
+            (thread, name.value())
+        })
+        .collect();
+    results.sort_by_key(|&(_, name)| name);
+
+    println!("\nthread -> name (sorted by name):");
+    for (thread, name) in &results {
+        println!("  thread {thread:>2} -> name {name:>2}");
+    }
+
+    // Uniqueness is the whole point — double-check it.
+    let mut names: Vec<usize> = results.iter().map(|&(_, n)| n).collect();
+    names.dedup();
+    assert_eq!(names.len(), n, "duplicate names!");
+    println!("\nall {n} names unique, all within 0..{}", object.namespace_size());
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Domain scenario: slot assignment for concurrent memory reclamation.
+//!
+//! The paper's introduction motivates renaming with "concurrent memory
+//! management" [27]: schemes like hazard pointers need each participating
+//! thread to own a small, dense slot index into a shared announcement
+//! array. Thread ids are useless for this (they come from an enormous
+//! sparse namespace); loose renaming is exactly the right tool — the array
+//! only needs `(1+ε)·max_threads` entries.
+//!
+//! ```text
+//! cargo run --release --example thread_pool_slots
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use loose_renaming::core::{Epsilon, Rebatching};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A miniature hazard-slot table: one announcement cell per renamed slot.
+struct HazardTable {
+    renaming: Rebatching,
+    announcements: Vec<AtomicUsize>,
+}
+
+impl HazardTable {
+    fn new(max_threads: usize) -> Result<Self, Box<dyn std::error::Error>> {
+        let renaming = Rebatching::with_defaults(max_threads, Epsilon::one())?;
+        let announcements = (0..renaming.namespace_size())
+            .map(|_| AtomicUsize::new(0))
+            .collect();
+        Ok(Self {
+            renaming,
+            announcements,
+        })
+    }
+
+    /// Called once per thread: acquire a dense slot.
+    fn register(&self, rng: &mut StdRng) -> usize {
+        self.renaming
+            .get_name(rng)
+            .expect("more threads than the table's capacity")
+            .value()
+    }
+
+    /// Publish a "protected pointer" in the thread's slot.
+    fn announce(&self, slot: usize, ptr: usize) {
+        self.announcements[slot].store(ptr, Ordering::Release);
+    }
+
+    /// Scan announcements (what a reclaimer would do): the scan cost is
+    /// proportional to the *renamed* namespace, not to the thread-id space.
+    fn scan(&self) -> Vec<usize> {
+        self.announcements
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .filter(|&p| p != 0)
+            .collect()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let max_threads = 24;
+    let table = Arc::new(HazardTable::new(max_threads)?);
+    println!(
+        "hazard table: {} announcement cells for up to {} threads",
+        table.announcements.len(),
+        max_threads
+    );
+
+    let handles: Vec<_> = (0..max_threads)
+        .map(|i| {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                // Simulate a thread arriving with a huge sparse id.
+                let sparse_id = 0x5eed_0000_0000 + i * 7919;
+                let mut rng = StdRng::seed_from_u64(sparse_id as u64);
+                let slot = table.register(&mut rng);
+                table.announce(slot, sparse_id);
+                (sparse_id, slot)
+            })
+        })
+        .collect();
+
+    let mut mapping: Vec<(usize, usize)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("thread panicked"))
+        .collect();
+    mapping.sort_by_key(|&(_, slot)| slot);
+    println!("\nsparse thread id     -> dense slot");
+    for (sparse, slot) in &mapping {
+        println!("  {sparse:#014x} -> {slot:>3}");
+    }
+
+    let protected = table.scan();
+    assert_eq!(protected.len(), max_threads);
+    println!(
+        "\nreclaimer scan found {} protected pointers by reading {} cells \
+         (instead of 2^48 possible thread ids)",
+        protected.len(),
+        table.announcements.len()
+    );
+    Ok(())
+}

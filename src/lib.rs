@@ -1,0 +1,45 @@
+//! # loose-renaming
+//!
+//! Facade crate for the reproduction of *"Randomized loose renaming in
+//! O(log log n) time"* (Alistarh, Aspnes, Giakkoupis, Woelfel — PODC 2013).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`tas`] — test-and-set substrate (hardware atomics and the
+//!   read/write-register tournament).
+//! * [`sim`] — asynchronous shared-memory execution model with adversarial
+//!   schedulers and crash injection.
+//! * [`core`] — the paper's algorithms: `ReBatching` (§4),
+//!   `AdaptiveReBatching` (§5.1) and `FastAdaptiveReBatching` (§5.2).
+//! * [`baselines`] — comparison algorithms (uniform probing, linear scan,
+//!   ablations).
+//! * [`lowerbound`] — the §6 lower-bound machinery as executable code.
+//! * [`analysis`] — statistics and reporting helpers used by the
+//!   experiments.
+//!
+//! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for
+//! the reproduced claims.
+//!
+//! # Example
+//!
+//! ```
+//! use loose_renaming::core::{Epsilon, Rebatching};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A namespace of size (1 + 1.0) * 64 = 128 for up to 64 processes.
+//! let renaming = Rebatching::with_defaults(64, Epsilon::new(1.0)?)?;
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let name = renaming.get_name(&mut rng)?;
+//! assert!(name.value() < renaming.namespace_size());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use renaming_analysis as analysis;
+pub use renaming_baselines as baselines;
+pub use renaming_core as core;
+pub use renaming_lowerbound as lowerbound;
+pub use renaming_sim as sim;
+pub use renaming_tas as tas;

@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: the three paper algorithms, driven both
+//! through the simulator (under every adversary) and on real threads via
+//! the facade crate.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use loose_renaming::core::{
+    AdaptiveMachine, AdaptiveRebatching, BatchLayout, Epsilon, FastAdaptiveMachine,
+    FastAdaptiveRebatching, ProbeSchedule, Rebatching, RebatchingMachine,
+};
+use loose_renaming::sim::adversary::all_strategies;
+use loose_renaming::sim::{Execution, Renamer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_schedule() -> ProbeSchedule {
+    ProbeSchedule::paper(Epsilon::one(), 3).expect("valid")
+}
+
+#[test]
+fn every_algorithm_under_every_adversary() {
+    let n = 96;
+    let rebatching = BatchLayout::shared(n, paper_schedule()).expect("layout");
+    let adaptive = Arc::new(
+        loose_renaming::core::AdaptiveLayout::for_capacity(n, paper_schedule()).expect("layout"),
+    );
+    type Factory<'a> = Box<dyn Fn() -> Box<dyn Renamer> + 'a>;
+    let algorithms: Vec<(&str, usize, Factory)> = vec![
+        (
+            "rebatching",
+            rebatching.namespace_size(),
+            Box::new(|| Box::new(RebatchingMachine::new(Arc::clone(&rebatching), 0)) as Box<dyn Renamer>),
+        ),
+        (
+            "adaptive",
+            adaptive.total_size(),
+            Box::new(|| Box::new(AdaptiveMachine::new(Arc::clone(&adaptive))) as Box<dyn Renamer>),
+        ),
+        (
+            "fast-adaptive",
+            adaptive.total_size(),
+            Box::new(|| Box::new(FastAdaptiveMachine::new(Arc::clone(&adaptive))) as Box<dyn Renamer>),
+        ),
+    ];
+    for (label, memory, factory) in &algorithms {
+        for adversary in all_strategies() {
+            let adv_label = adversary.label();
+            let machines: Vec<Box<dyn Renamer>> = (0..n).map(|_| factory()).collect();
+            let report = Execution::new(*memory)
+                .adversary(adversary)
+                .seed(0xfeed)
+                .run(machines)
+                .unwrap_or_else(|e| panic!("{label} under {adv_label}: {e}"));
+            assert_eq!(report.named_count(), n, "{label} under {adv_label}");
+            assert!(
+                report.names_within(*memory).is_ok(),
+                "{label} under {adv_label}: name out of range"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_rebatching_full_capacity() {
+    let n = 128;
+    let object = Rebatching::with_defaults(n, Epsilon::one()).expect("object");
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let obj = object.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(31_337 + i as u64);
+                obj.get_name(&mut rng).expect("name").value()
+            })
+        })
+        .collect();
+    let names: HashSet<usize> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
+    assert_eq!(names.len(), n, "names must be unique");
+    assert!(names.iter().all(|&v| v < object.namespace_size()));
+}
+
+#[test]
+fn threaded_adaptive_mixed_contention_rounds() {
+    // Several waves of threads against the same adaptive object: the
+    // one-shot names must stay globally unique across waves.
+    let object = AdaptiveRebatching::with_defaults(256, Epsilon::one()).expect("object");
+    let mut all_names = HashSet::new();
+    for wave in 0..3u64 {
+        let k = 16 << wave; // 16, 32, 64
+        let handles: Vec<_> = (0..k)
+            .map(|i| {
+                let obj = object.clone();
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(wave * 1000 + i as u64);
+                    obj.get_name(&mut rng).expect("name").value()
+                })
+            })
+            .collect();
+        for h in handles {
+            let name = h.join().expect("join");
+            assert!(all_names.insert(name), "duplicate name {name} across waves");
+        }
+    }
+    assert_eq!(all_names.len(), 16 + 32 + 64);
+}
+
+#[test]
+fn threaded_fast_adaptive_names_scale_with_contention() {
+    let object = FastAdaptiveRebatching::with_defaults(1 << 12).expect("object");
+    let k = 8;
+    let handles: Vec<_> = (0..k)
+        .map(|i| {
+            let obj = object.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(77 + i as u64);
+                obj.get_name(&mut rng).expect("name").value()
+            })
+        })
+        .collect();
+    let max_name = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .max()
+        .expect("k > 0");
+    // k = 8 against capacity 4096: adaptive names stay near the bottom.
+    assert!(
+        max_name < 8 * k + 64,
+        "max name {max_name} not O(k) for k = {k}"
+    );
+}
+
+#[test]
+fn mixed_algorithm_population_stays_safe() {
+    // Processes running *different* algorithms share nothing but memory
+    // layout assumptions, so give each family its own region via bases.
+    // Here: all three machine kinds over the adaptive layout's memory,
+    // rebatching writing into the top object's region.
+    let capacity = 64;
+    let adaptive = Arc::new(
+        loose_renaming::core::AdaptiveLayout::for_capacity(capacity, paper_schedule())
+            .expect("layout"),
+    );
+    let top = adaptive.max_index();
+    let top_layout = Arc::clone(adaptive.object(top));
+    let top_base = adaptive.base(top);
+    let mut machines: Vec<Box<dyn Renamer>> = Vec::new();
+    for i in 0..48 {
+        machines.push(match i % 3 {
+            0 => Box::new(AdaptiveMachine::new(Arc::clone(&adaptive))),
+            1 => Box::new(FastAdaptiveMachine::new(Arc::clone(&adaptive))),
+            _ => Box::new(RebatchingMachine::new(Arc::clone(&top_layout), top_base)),
+        });
+    }
+    let report = Execution::new(adaptive.total_size())
+        .seed(9)
+        .run(machines)
+        .expect("mixed population run");
+    assert_eq!(report.named_count(), 48);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade's module names are the public API surface promised by the
+    // README; exercise one item from each.
+    let _ = loose_renaming::tas::AtomicTas::new();
+    let _ = loose_renaming::sim::TasMemory::new(4);
+    let _ = loose_renaming::core::Epsilon::one();
+    let _ = loose_renaming::baselines::LinearScanMachine::new();
+    let _ = loose_renaming::lowerbound::Poisson::new(1.0);
+    let _ = loose_renaming::analysis::Table::new(["col"]);
+}

@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) over the core invariants:
+//! uniqueness, namespace bounds, termination, layout bijections and
+//! lower-bound numerics — under randomized seeds, sizes, adversaries and
+//! crash plans.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use loose_renaming::core::{
+    AdaptiveLayout, AdaptiveMachine, BatchLayout, Epsilon, FastAdaptiveMachine, ProbeSchedule,
+    RebatchingMachine,
+};
+use loose_renaming::lowerbound::{coupled_rate, CoupledPoisson, Poisson};
+use loose_renaming::sim::adversary::{
+    Adversary, CollisionSeeker, LayeredPermutation, RoundRobin, Starver, UniformRandom,
+};
+use loose_renaming::sim::{CrashPlan, Execution, Renamer};
+
+fn adversary_for(idx: u8) -> Box<dyn Adversary> {
+    match idx % 5 {
+        0 => Box::new(RoundRobin::new()),
+        1 => Box::new(UniformRandom::new()),
+        2 => Box::new(LayeredPermutation::new()),
+        3 => Box::new(CollisionSeeker::new()),
+        _ => Box::new(Starver::new(0)),
+    }
+}
+
+fn schedule() -> ProbeSchedule {
+    // The tuned profile keeps the property tests fast without changing any
+    // safety-relevant structure.
+    ProbeSchedule::tuned(Epsilon::one(), 2, 3).expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rebatching_unique_names_any_schedule(
+        n in 2usize..200,
+        seed in any::<u64>(),
+        adv in any::<u8>(),
+    ) {
+        let layout = BatchLayout::shared(n, schedule()).expect("layout");
+        let machines: Vec<Box<dyn Renamer>> = (0..n)
+            .map(|_| Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>)
+            .collect();
+        let report = Execution::new(layout.namespace_size())
+            .adversary(adversary_for(adv))
+            .seed(seed)
+            .run(machines)
+            .expect("no safety violation");
+        prop_assert_eq!(report.named_count(), n);
+        prop_assert!(report.names_within(layout.namespace_size()).is_ok());
+    }
+
+    #[test]
+    fn rebatching_survives_crashes(
+        n in 4usize..150,
+        seed in any::<u64>(),
+        fraction in 0.0f64..0.95,
+    ) {
+        let layout = BatchLayout::shared(n, schedule()).expect("layout");
+        let machines: Vec<Box<dyn Renamer>> = (0..n)
+            .map(|_| Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>)
+            .collect();
+        let plan = CrashPlan::random_fraction(n, fraction, (n as u64).max(4), seed);
+        let report = Execution::new(layout.namespace_size())
+            .adversary(Box::new(UniformRandom::new()))
+            .crash_plan(plan)
+            .seed(seed)
+            .run(machines)
+            .expect("no safety violation");
+        prop_assert_eq!(report.named_count() + report.crashed_count(), n);
+        prop_assert_eq!(report.stuck_count(), 0);
+        prop_assert!(report.names_within(layout.namespace_size()).is_ok());
+    }
+
+    #[test]
+    fn adaptive_unique_names_any_contention(
+        capacity_exp in 3u32..9,
+        k in 1usize..100,
+        seed in any::<u64>(),
+        adv in any::<u8>(),
+    ) {
+        let capacity = 1usize << capacity_exp;
+        let layout = Arc::new(
+            AdaptiveLayout::for_capacity(capacity, schedule()).expect("layout"),
+        );
+        let k = k.min(capacity);
+        let machines: Vec<Box<dyn Renamer>> = (0..k)
+            .map(|_| Box::new(AdaptiveMachine::new(Arc::clone(&layout))) as Box<dyn Renamer>)
+            .collect();
+        let report = Execution::new(layout.total_size())
+            .adversary(adversary_for(adv))
+            .seed(seed)
+            .run(machines)
+            .expect("no safety violation");
+        prop_assert_eq!(report.named_count(), k);
+    }
+
+    #[test]
+    fn fast_adaptive_unique_names_any_contention(
+        capacity_exp in 3u32..9,
+        k in 1usize..100,
+        seed in any::<u64>(),
+        adv in any::<u8>(),
+    ) {
+        let capacity = 1usize << capacity_exp;
+        let layout = Arc::new(
+            AdaptiveLayout::for_capacity(capacity, schedule()).expect("layout"),
+        );
+        let k = k.min(capacity);
+        let machines: Vec<Box<dyn Renamer>> = (0..k)
+            .map(|_| Box::new(FastAdaptiveMachine::new(Arc::clone(&layout))) as Box<dyn Renamer>)
+            .collect();
+        let report = Execution::new(layout.total_size())
+            .adversary(adversary_for(adv))
+            .seed(seed)
+            .run(machines)
+            .expect("no safety violation");
+        prop_assert_eq!(report.named_count(), k);
+    }
+
+    #[test]
+    fn layout_location_bijection(n in 2usize..5000, eps_mil in 50usize..4000) {
+        let eps = Epsilon::new(eps_mil as f64 / 1000.0).expect("valid eps");
+        let s = ProbeSchedule::paper(eps, 3).expect("schedule");
+        let layout = BatchLayout::new(n, s).expect("layout");
+        // Every batch location roundtrips; offsets partition the area.
+        let mut covered = 0usize;
+        for batch in 0..layout.batch_count() {
+            covered += layout.batch_size(batch);
+            let first = layout.location(batch, 0);
+            let last = layout.location(batch, layout.batch_size(batch) - 1);
+            prop_assert_eq!(layout.locate(first), Some((batch, 0)));
+            prop_assert_eq!(
+                layout.locate(last),
+                Some((batch, layout.batch_size(batch) - 1))
+            );
+        }
+        prop_assert_eq!(covered, layout.batch_area());
+        prop_assert!(layout.namespace_size() >= layout.batch_area());
+        prop_assert!(layout.namespace_size() >= ((1.0 + eps.value()) * n as f64) as usize);
+    }
+
+    #[test]
+    fn adaptive_layout_name_ownership(capacity_exp in 1u32..12, probe in any::<u64>()) {
+        let capacity = 1usize << capacity_exp;
+        let layout = AdaptiveLayout::for_capacity(capacity.max(2), schedule()).expect("layout");
+        let name = (probe as usize) % layout.total_size();
+        let object = layout.object_of_name(name);
+        let base = layout.base(object);
+        let size = layout.object(object).namespace_size();
+        prop_assert!(name >= base && name < base + size);
+    }
+
+    #[test]
+    fn poisson_quantile_inverts_cdf(lambda_mil in 1u64..2_000_000, u in 0.0001f64..0.9999) {
+        let lambda = lambda_mil as f64 / 1000.0;
+        let p = Poisson::new(lambda);
+        let k = p.quantile(u);
+        prop_assert!(p.cdf(k) >= u - 1e-12);
+        if k > 0 {
+            prop_assert!(p.cdf(k - 1) < u + 1e-12);
+        }
+    }
+
+    #[test]
+    fn coupling_inequality_always_holds(lambda_mil in 1u64..500_000, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let lambda = lambda_mil as f64 / 1000.0;
+        let coupling = CoupledPoisson::new(lambda);
+        prop_assert!((coupling.gamma() - coupled_rate(lambda)).abs() < 1e-12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let (z, y) = coupling.sample(&mut rng);
+            prop_assert!(y <= z.saturating_sub(1), "lambda={lambda} z={z} y={y}");
+        }
+    }
+
+    #[test]
+    fn lemma_6_5_on_random_rates(lambda_mil in 1u64..100_000, n in 0u64..200) {
+        let lambda = lambda_mil as f64 / 1000.0;
+        let c = CoupledPoisson::new(lambda);
+        prop_assert!(c.lemma_6_5_margin(n) >= -1e-12);
+    }
+}

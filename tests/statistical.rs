@@ -1,0 +1,191 @@
+//! Statistical checks of the paper's w.h.p. bounds, with generous slack so
+//! the suite is deterministic in practice (fixed seeds, failure budgets
+//! orders of magnitude above the theoretical rates).
+
+use std::sync::Arc;
+
+use loose_renaming::analysis::{axis, LinearFit, Summary};
+use loose_renaming::baselines::UniformMachine;
+use loose_renaming::core::{
+    AdaptiveLayout, AdaptiveMachine, BatchLayout, Epsilon, FastAdaptiveMachine, ProbeSchedule,
+    RebatchingMachine,
+};
+use loose_renaming::lowerbound::uniform_extinction_layers;
+use loose_renaming::sim::adversary::{RoundRobin, UniformRandom};
+use loose_renaming::sim::{Execution, Renamer};
+
+fn schedule() -> ProbeSchedule {
+    ProbeSchedule::paper(Epsilon::one(), 3).expect("valid")
+}
+
+#[test]
+fn theorem_4_1_step_bound_across_sizes() {
+    // Max steps <= t0 + (kappa - 1) + beta in every run (no backup).
+    for n in [64usize, 256, 1024, 4096] {
+        let layout = BatchLayout::shared(n, schedule()).expect("layout");
+        let budget = layout.max_probes() as u64;
+        for seed in 0..5u64 {
+            let machines: Vec<Box<dyn Renamer>> = (0..n)
+                .map(|_| {
+                    Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
+                })
+                .collect();
+            let report = Execution::new(layout.namespace_size())
+                .adversary(Box::new(RoundRobin::new()))
+                .seed(seed)
+                .run(machines)
+                .expect("run");
+            assert_eq!(report.backup_entries(), 0, "n={n} seed={seed}");
+            assert!(
+                report.max_steps() <= budget,
+                "n={n} seed={seed}: {} > {budget}",
+                report.max_steps()
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_4_1_total_steps_linear() {
+    // total/n stays bounded by a constant across a 64x size range.
+    let mut ratios = Vec::new();
+    for n in [256usize, 1024, 4096, 16384] {
+        let layout = BatchLayout::shared(n, schedule()).expect("layout");
+        let machines: Vec<Box<dyn Renamer>> = (0..n)
+            .map(|_| Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>)
+            .collect();
+        let report = Execution::new(layout.namespace_size())
+            .seed(1)
+            .run(machines)
+            .expect("run");
+        ratios.push(report.total_steps as f64 / n as f64);
+    }
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        max / min < 2.0,
+        "total/n should be n-independent: {ratios:?}"
+    );
+}
+
+#[test]
+fn uniform_probing_grows_rebatching_does_not() {
+    // The E10 shape at test scale: uniform max steps grow with n while
+    // ReBatching's stay within the (constant) budget.
+    let mut uniform_max = Vec::new();
+    let mut log_axis = Vec::new();
+    for n in [256usize, 1024, 4096, 16384] {
+        let layout = BatchLayout::shared(n, schedule()).expect("layout");
+        let m = layout.namespace_size();
+        let mut worst = 0u64;
+        for seed in 0..3u64 {
+            let machines: Vec<Box<dyn Renamer>> = (0..n)
+                .map(|_| Box::new(UniformMachine::new(m)) as Box<dyn Renamer>)
+                .collect();
+            let report = Execution::new(m).seed(seed).run(machines).expect("run");
+            worst = worst.max(report.max_steps());
+        }
+        uniform_max.push(worst as f64);
+        log_axis.push(axis::log2(n));
+    }
+    let fit = LinearFit::fit(&log_axis, &uniform_max);
+    assert!(
+        fit.slope() > 0.3,
+        "uniform max steps should grow with log n: {fit}"
+    );
+    assert!(
+        uniform_max.last().unwrap() > uniform_max.first().unwrap(),
+        "uniform max steps should increase: {uniform_max:?}"
+    );
+}
+
+#[test]
+fn theorem_5_1_names_linear_in_contention() {
+    let layout = Arc::new(AdaptiveLayout::for_capacity(1 << 12, schedule()).expect("layout"));
+    for k in [2usize, 8, 32, 128] {
+        let mut worst = 0usize;
+        for seed in 0..5u64 {
+            let machines: Vec<Box<dyn Renamer>> = (0..k)
+                .map(|_| Box::new(AdaptiveMachine::new(Arc::clone(&layout))) as Box<dyn Renamer>)
+                .collect();
+            let report = Execution::new(layout.total_size())
+                .adversary(Box::new(UniformRandom::new()))
+                .seed(seed)
+                .run(machines)
+                .expect("run");
+            worst = worst.max(report.max_name().expect("named").value());
+        }
+        assert!(
+            worst <= 8 * k + 64,
+            "k={k}: max name {worst} exceeds the O(k) bound"
+        );
+    }
+}
+
+#[test]
+fn theorem_5_2_total_work_stays_normalized() {
+    let layout = Arc::new(AdaptiveLayout::for_capacity(1 << 12, schedule()).expect("layout"));
+    let mut ratios = Vec::new();
+    for k in [16usize, 64, 256, 1024] {
+        let mut totals = Vec::new();
+        for seed in 0..3u64 {
+            let machines: Vec<Box<dyn Renamer>> = (0..k)
+                .map(|_| {
+                    Box::new(FastAdaptiveMachine::new(Arc::clone(&layout))) as Box<dyn Renamer>
+                })
+                .collect();
+            let report = Execution::new(layout.total_size())
+                .adversary(Box::new(UniformRandom::new()))
+                .seed(seed)
+                .run(machines)
+                .expect("run");
+            totals.push(report.total_steps);
+        }
+        let mean = Summary::from_counts(totals).mean();
+        ratios.push(mean / axis::n_log2_log2(k));
+    }
+    // Bounded by an absolute constant: 6·t0 covers race + search descent.
+    assert!(
+        ratios.iter().all(|r| *r < 6.0 * 53.0),
+        "total/(k log log k) out of envelope: {ratios:?}"
+    );
+}
+
+#[test]
+fn lower_bound_layers_track_double_log() {
+    // Doubling log n repeatedly adds roughly one layer each time.
+    let layers: Vec<usize> = [10u32, 20, 40]
+        .iter()
+        .map(|&e| {
+            let n = 1u64 << e;
+            uniform_extinction_layers(n as f64 / 2.0, 2 * n as usize, 4.0, 99)
+        })
+        .collect();
+    assert!(layers[0] < layers[1] && layers[1] < layers[2], "{layers:?}");
+    assert!(
+        layers[2] - layers[0] <= 3,
+        "growth must be ~1 per doubling of lg n: {layers:?}"
+    );
+}
+
+#[test]
+fn adaptive_solo_run_is_constant_work() {
+    // k = 1 is the extreme adaptivity test: a lone process must finish in
+    // a handful of probes regardless of the provisioned capacity.
+    for capacity_exp in [6u32, 10, 14] {
+        let layout = Arc::new(
+            AdaptiveLayout::for_capacity(1 << capacity_exp, schedule()).expect("layout"),
+        );
+        let machines: Vec<Box<dyn Renamer>> =
+            vec![Box::new(AdaptiveMachine::new(Arc::clone(&layout)))];
+        let report = Execution::new(layout.total_size())
+            .seed(3)
+            .run(machines)
+            .expect("run");
+        assert!(
+            report.max_steps() <= 4,
+            "capacity 2^{capacity_exp}: solo run took {} steps",
+            report.max_steps()
+        );
+    }
+}
