@@ -53,8 +53,9 @@ impl DoublingUniformMachine {
     }
 }
 
-impl Renamer for DoublingUniformMachine {
-    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+impl DoublingUniformMachine {
+    #[inline]
+    fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
         match self.won {
             Some(name) => Action::Done(name),
             None => {
@@ -62,6 +63,17 @@ impl Renamer for DoublingUniformMachine {
                 Action::Probe(self.last)
             }
         }
+    }
+}
+
+impl Renamer for DoublingUniformMachine {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        self.propose_impl(rng)
+    }
+
+    #[inline]
+    fn propose_typed<R: RngCore>(&mut self, rng: &mut R) -> Action {
+        self.propose_impl(rng)
     }
 
     fn observe(&mut self, won: bool) {

@@ -47,8 +47,9 @@ impl SingleBatchMachine {
     }
 }
 
-impl Renamer for SingleBatchMachine {
-    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+impl SingleBatchMachine {
+    #[inline]
+    fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
         if let Some(name) = self.won {
             return Action::Done(name);
         }
@@ -61,6 +62,17 @@ impl Renamer for SingleBatchMachine {
         }
         self.last = rng.gen_range(0..self.namespace);
         Action::Probe(self.last)
+    }
+}
+
+impl Renamer for SingleBatchMachine {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        self.propose_impl(rng)
+    }
+
+    #[inline]
+    fn propose_typed<R: RngCore>(&mut self, rng: &mut R) -> Action {
+        self.propose_impl(rng)
     }
 
     fn observe(&mut self, won: bool) {

@@ -41,8 +41,9 @@ impl UniformMachine {
     }
 }
 
-impl Renamer for UniformMachine {
-    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+impl UniformMachine {
+    #[inline]
+    fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
         match self.won {
             Some(name) => Action::Done(name),
             None => {
@@ -50,6 +51,17 @@ impl Renamer for UniformMachine {
                 Action::Probe(self.last)
             }
         }
+    }
+}
+
+impl Renamer for UniformMachine {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        self.propose_impl(rng)
+    }
+
+    #[inline]
+    fn propose_typed<R: RngCore>(&mut self, rng: &mut R) -> Action {
+        self.propose_impl(rng)
     }
 
     fn observe(&mut self, won: bool) {

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the engine tiers: boxed (`Execution::run`,
+//! `StdRng`), monomorphic (`run_typed_in`, `FastRng`, scratch reuse), and
+//! the seed-replica legacy engine — one full ReBatching execution per
+//! iteration. Complements the `throughput` experiment, which measures the
+//! same contrast as sweep-level steps/sec and emits
+//! `BENCH_throughput.json`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use renaming_bench::legacy::{run_legacy, LegacyRebatchingMachine};
+use renaming_bench::MachineKind;
+use renaming_core::{BatchLayout, Epsilon, FastRng, ProbeSchedule, RebatchingMachine};
+use renaming_sim::adversary::UniformRandom;
+use renaming_sim::{EngineScratch, Execution, Renamer};
+
+fn layout(n: usize) -> Arc<BatchLayout> {
+    BatchLayout::shared(n, ProbeSchedule::paper(Epsilon::one(), 3).expect("schedule"))
+        .expect("layout")
+}
+
+fn engine_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/full-execution");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let layout = layout(n);
+        let memory = layout.namespace_size();
+        let kind = MachineKind::Rebatching {
+            layout: Arc::clone(&layout),
+            base: 0,
+        };
+
+        group.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let machines: Vec<Box<dyn Renamer>> = (0..n)
+                    .map(|_| {
+                        Box::new(LegacyRebatchingMachine::new(Arc::clone(&layout), 0))
+                            as Box<dyn Renamer>
+                    })
+                    .collect();
+                run_legacy(memory, machines, seed)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("boxed", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Execution::new(memory)
+                    .adversary(Box::new(UniformRandom::new()))
+                    .seed(seed)
+                    .run(kind.boxed_fleet(n))
+                    .expect("run")
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("typed", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            let mut scratch = EngineScratch::new();
+            b.iter(|| {
+                seed += 1;
+                let machines =
+                    (0..n).map(|_| RebatchingMachine::new(Arc::clone(&layout), 0));
+                Execution::new(memory)
+                    .seed(seed)
+                    .run_typed_in::<_, _, FastRng, _>(
+                        &mut scratch,
+                        machines,
+                        UniformRandom::new(),
+                    )
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_tiers);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Decomposes the cost of one simulated execution: fleet construction,
+//! the probe loop, and report assembly, for both engine tiers.
+//!
+//! ```text
+//! cargo run -p renaming-bench --release --bin engine_profile
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use renaming_bench::MachineKind;
+use renaming_core::{Epsilon, FastRng, ProbeSchedule};
+use renaming_sim::adversary::UniformRandom;
+use renaming_sim::Execution;
+
+fn main() {
+    for &n in &[64usize, 256, 1024, 4096] {
+        let layout = renaming_core::BatchLayout::shared(
+            n,
+            ProbeSchedule::paper(Epsilon::one(), 3).expect("schedule"),
+        )
+        .expect("layout");
+        let memory = layout.namespace_size();
+        let kind = MachineKind::Rebatching {
+            layout: Arc::clone(&layout),
+            base: 0,
+        };
+        let trials = (1 << 22) / n.max(1); // ~constant total work per n
+
+        // Fleet construction alone (typed).
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..trials {
+            let fleet = kind.fleet(n);
+            sink = sink.wrapping_add(fleet.len());
+        }
+        let typed_fleet = start.elapsed().as_secs_f64();
+
+        // Fleet construction alone (boxed).
+        let start = Instant::now();
+        for _ in 0..trials {
+            let fleet = kind.boxed_fleet(n);
+            sink = sink.wrapping_add(fleet.len());
+        }
+        let boxed_fleet = start.elapsed().as_secs_f64();
+
+        // Full execution (typed, scratch-reusing, fully concrete machine
+        // type — no enum layer).
+        let mut steps_typed = 0u64;
+        let mut scratch = renaming_sim::EngineScratch::new();
+        let start = Instant::now();
+        for trial in 0..trials {
+            let machines = (0..n)
+                .map(|_| renaming_core::RebatchingMachine::new(Arc::clone(&layout), 0));
+            let report = Execution::new(memory)
+                .seed(trial as u64)
+                .run_typed_in::<_, _, FastRng, _>(&mut scratch, machines, UniformRandom::new())
+                .expect("run");
+            steps_typed += report.total_steps;
+        }
+        let typed_full = start.elapsed().as_secs_f64();
+
+        // Full execution (boxed).
+        let mut steps_boxed = 0u64;
+        let start = Instant::now();
+        for trial in 0..trials {
+            let report = Execution::new(memory)
+                .adversary(Box::new(UniformRandom::new()))
+                .seed(trial as u64)
+                .run(kind.boxed_fleet(n))
+                .expect("run");
+            steps_boxed += report.total_steps;
+        }
+        let boxed_full = start.elapsed().as_secs_f64();
+
+        // Full execution (seed-replica legacy engine + legacy machines).
+        let mut steps_legacy = 0u64;
+        let start = Instant::now();
+        for trial in 0..trials {
+            let machines: Vec<Box<dyn renaming_sim::Renamer>> = (0..n)
+                .map(|_| {
+                    Box::new(renaming_bench::legacy::LegacyRebatchingMachine::new(
+                        Arc::clone(&layout),
+                        0,
+                    )) as Box<dyn renaming_sim::Renamer>
+                })
+                .collect();
+            let outcome = renaming_bench::legacy::run_legacy(memory, machines, trial as u64);
+            steps_legacy += outcome.total_steps;
+        }
+        let legacy_full = start.elapsed().as_secs_f64();
+
+        let per = |secs: f64, steps: u64| 1e9 * secs / steps.max(1) as f64;
+        println!(
+            "n={n:>5} trials={trials:>6} steps/trial={:.1}\n  \
+             typed:  fleet {:>6.1} ns/step  full {:>6.1} ns/step -> loop+report {:>6.1}\n  \
+             boxed:  fleet {:>6.1} ns/step  full {:>6.1} ns/step -> loop+report {:>6.1}\n  \
+             legacy: full {:>6.1} ns/step  (typed speedup {:.2}x)",
+            steps_typed as f64 / trials as f64,
+            per(typed_fleet, steps_typed),
+            per(typed_full, steps_typed),
+            per(typed_full - typed_fleet, steps_typed),
+            per(boxed_fleet, steps_boxed),
+            per(boxed_full, steps_boxed),
+            per(boxed_full - boxed_fleet, steps_boxed),
+            per(legacy_full, steps_legacy),
+            per(legacy_full, steps_legacy) / per(typed_full, steps_typed),
+        );
+        std::hint::black_box(sink);
+    }
+}

@@ -11,8 +11,10 @@ mod comparisons;
 mod lower_bound;
 mod non_adaptive;
 mod robustness;
+mod throughput;
 
 pub use comparisons::layers_to_completion;
+pub use throughput::{ARTIFACT_PATH as THROUGHPUT_ARTIFACT, SPEEDUP_TARGET};
 
 use crate::Harness;
 
@@ -44,6 +46,7 @@ pub fn catalog() -> Vec<ExperimentInfo> {
         ExperimentInfo { id: "e14", claim: "S2 remark: register-based TAS costs a log factor per operation" },
         ExperimentInfo { id: "a1", claim: "Ablation: geometric batches vs same budget without geometry" },
         ExperimentInfo { id: "a2", claim: "Ablation: the t0 = 17 ln(8e/eps)/eps constant" },
+        ExperimentInfo { id: "throughput", claim: "Engine: monomorphic fast path >= 5x the seed engine's steps/sec (tooling)" },
     ]
 }
 
@@ -71,6 +74,7 @@ pub fn run(id: &str, harness: &mut Harness) -> String {
         "e14" => robustness::e14_rw_tas(harness),
         "a1" => ablations::a1_geometry(harness),
         "a2" => ablations::a2_t0(harness),
+        "throughput" => throughput::throughput(harness),
         other => panic!("unknown experiment id `{other}`"),
     }
 }
@@ -97,7 +101,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
-        assert_eq!(before, 16);
+        assert_eq!(before, 17);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::Harness;
 
 /// Alternating benign adversaries for the sweep trials.
 fn sweep_adversary(trial: usize) -> Box<dyn Adversary> {
-    if trial % 2 == 0 {
+    if trial.is_multiple_of(2) {
         Box::new(RoundRobin::new())
     } else {
         Box::new(UniformRandom::new())

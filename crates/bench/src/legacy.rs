@@ -1,0 +1,415 @@
+//! A faithful replica of the seed repository's execution engine, kept as
+//! the measurement baseline for the `throughput` experiment.
+//!
+//! The production engine (`renaming_sim::Execution`) has since been
+//! rebuilt around flat vectors, slice-returning crash scans, an opt-in
+//! location index and a monomorphic tier. This module preserves what the
+//! seed's runner did per probe, so the speedup trajectory stays measurable
+//! against a fixed reference:
+//!
+//! * `Box<dyn Renamer>` machines and a boxed adversary (vtable dispatch on
+//!   every propose/observe/next);
+//! * `StdRng` (ChaCha12) coin flips;
+//! * a `HashMap<usize, Vec<ProcessId>>` per-location index, maintained on
+//!   every probe, with buckets allocated on first use and freed when
+//!   empty (the seed's `PendingSet`);
+//! * a `HashMap<usize, ProcessId>` name-holder table;
+//! * a freshly allocated `Vec` of due crashes on every step (the seed's
+//!   `CrashPlan::due`).
+//!
+//! Scheduling semantics match the production engine; only the bookkeeping
+//! data structures differ. The replica supports the subset of features
+//! the throughput sweep uses (no crash plans, no tracing).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use renaming_core::BatchLayout;
+use renaming_sim::{Action, MachineStats, Name, ProcessId, Renamer};
+
+/// The seed's pending-process set: dense pid vector plus a hash-map
+/// location index that allocates and frees buckets as probes come and go.
+#[derive(Debug, Default)]
+struct LegacyPendingSet {
+    pids: Vec<ProcessId>,
+    pos: Vec<Option<usize>>,
+    location_of: Vec<usize>,
+    at_location: HashMap<usize, Vec<ProcessId>>,
+}
+
+impl LegacyPendingSet {
+    fn new(n: usize) -> Self {
+        Self {
+            pids: Vec::with_capacity(n),
+            pos: vec![None; n],
+            location_of: vec![0; n],
+            at_location: HashMap::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pids.is_empty()
+    }
+
+    fn contains(&self, pid: ProcessId) -> bool {
+        self.pos.get(pid).is_some_and(|p| p.is_some())
+    }
+
+    fn location(&self, pid: ProcessId) -> usize {
+        self.location_of[pid]
+    }
+
+    fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> ProcessId {
+        self.pids[rng.gen_range(0..self.pids.len())]
+    }
+
+    fn add(&mut self, pid: ProcessId, location: usize) {
+        self.pos[pid] = Some(self.pids.len());
+        self.pids.push(pid);
+        self.location_of[pid] = location;
+        self.at_location.entry(location).or_default().push(pid);
+    }
+
+    fn remove(&mut self, pid: ProcessId) {
+        let idx = self.pos[pid].take().expect("process not pending");
+        let last = self.pids.pop().expect("pending vec empty");
+        if last != pid {
+            self.pids[idx] = last;
+            self.pos[last] = Some(idx);
+        }
+        let loc = self.location_of[pid];
+        if let Some(bucket) = self.at_location.get_mut(&loc) {
+            if let Some(i) = bucket.iter().position(|&p| p == pid) {
+                bucket.swap_remove(i);
+            }
+            if bucket.is_empty() {
+                self.at_location.remove(&loc);
+            }
+        }
+    }
+}
+
+/// The seed's simulated memory: flags, winners and per-location access
+/// counts, with `set_count` as a linear scan.
+struct LegacyMemory {
+    set: Vec<bool>,
+    winners: Vec<Option<ProcessId>>,
+    accesses: Vec<u32>,
+}
+
+impl LegacyMemory {
+    fn new(size: usize) -> Self {
+        Self {
+            set: vec![false; size],
+            winners: vec![None; size],
+            accesses: vec![0; size],
+        }
+    }
+
+    fn test_and_set(&mut self, location: usize, pid: ProcessId) -> bool {
+        self.accesses[location] = self.accesses[location].saturating_add(1);
+        if self.set[location] {
+            false
+        } else {
+            self.set[location] = true;
+            self.winners[location] = Some(pid);
+            true
+        }
+    }
+
+    fn set_count(&self) -> usize {
+        self.set.iter().filter(|s| **s).count()
+    }
+
+    fn max_accesses(&self) -> u32 {
+        self.accesses.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Outcome of a legacy execution, mirroring the fields the seed's report
+/// assembly computed (so the replica pays the same end-of-run costs).
+#[derive(Debug, Clone)]
+pub struct LegacyOutcome {
+    /// Total shared-memory steps executed.
+    pub total_steps: u64,
+    /// Processes that terminated with a name.
+    pub named: usize,
+    /// Per-machine diagnostics, as the seed's report collected.
+    pub stats: Vec<renaming_sim::MachineStats>,
+    /// Won locations at quiescence (linear scan, as in the seed).
+    pub set_count: usize,
+    /// Peak per-location access count.
+    pub max_location_accesses: u32,
+}
+
+/// Runs boxed `machines` to completion on the seed-replica engine with a
+/// uniformly random scheduler (what the throughput sweep uses), seeded
+/// like the production engine. The scheduling decision goes through a
+/// boxed closure so it costs an indirect call per step, like the seed's
+/// `Box<dyn Adversary>` did.
+///
+/// # Panics
+///
+/// Panics on safety violations (duplicate names, out-of-bounds probes) —
+/// the throughput sweep treats those as bugs, exactly like the harness.
+pub fn run_legacy(
+    memory_size: usize,
+    mut machines: Vec<Box<dyn Renamer>>,
+    seed: u64,
+) -> LegacyOutcome {
+    let n = machines.len();
+    assert!(n > 0, "no machines");
+    let step_limit = 64u64
+        * (n as u64 + memory_size as u64)
+        * u64::from((n as u64).ilog2().max(1) + 1);
+    let mut memory = LegacyMemory::new(memory_size);
+    let mut pending = LegacyPendingSet::new(n);
+    let mut steps = vec![0u64; n];
+    let mut named: Vec<Option<Name>> = vec![None; n];
+    let mut rngs: Vec<StdRng> = (0..n as u64)
+        .map(|pid| StdRng::seed_from_u64(splitmix(seed ^ splitmix(pid))))
+        .collect();
+    let mut adv_rng = StdRng::seed_from_u64(splitmix(seed.wrapping_add(0x9e37_79b9)));
+    let mut holders: HashMap<usize, ProcessId> = HashMap::new();
+    // The seed engine's crash scan allocated a Vec per step; replicate
+    // with an (empty) plan so the allocation stays on the path.
+    let crashes: Vec<(u64, ProcessId)> = Vec::new();
+    let mut crash_cursor = 0usize;
+
+    let propose = |pid: ProcessId,
+                       machines: &mut [Box<dyn Renamer>],
+                       rngs: &mut [StdRng],
+                       pending: &mut LegacyPendingSet,
+                       named: &mut [Option<Name>],
+                       holders: &mut HashMap<usize, ProcessId>| {
+        match machines[pid].propose(&mut rngs[pid]) {
+            Action::Probe(location) => {
+                assert!(location < memory_size, "probe out of bounds");
+                pending.add(pid, location);
+            }
+            Action::Done(name) => {
+                assert!(
+                    holders.insert(name.value(), pid).is_none(),
+                    "duplicate name {name}"
+                );
+                named[pid] = Some(name);
+            }
+            Action::Stuck => {}
+        }
+    };
+
+    // Boxed scheduling decision: one indirect call per step, as with the
+    // seed's `Box<dyn Adversary>`.
+    type Scheduler = Box<dyn Fn(&LegacyPendingSet, &mut StdRng) -> ProcessId>;
+    let scheduler: Scheduler = Box::new(|pending, rng| pending.random(rng));
+
+    for pid in 0..n {
+        propose(pid, &mut machines, &mut rngs, &mut pending, &mut named, &mut holders);
+    }
+
+    let mut global_step = 0u64;
+    loop {
+        // Seed-style due-crash scan: builds a Vec every step.
+        let due: Vec<ProcessId> = {
+            let mut out = Vec::new();
+            while crash_cursor < crashes.len() && crashes[crash_cursor].0 <= global_step {
+                out.push(crashes[crash_cursor].1);
+                crash_cursor += 1;
+            }
+            out
+        };
+        for victim in due {
+            if pending.contains(victim) {
+                pending.remove(victim);
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        let pid = scheduler(&pending, &mut adv_rng);
+        assert!(pending.contains(pid), "scheduled non-pending process");
+        let location = pending.location(pid);
+        let won = memory.test_and_set(location, pid);
+        steps[pid] += 1;
+        global_step += 1;
+        assert!(global_step <= step_limit, "step limit exceeded");
+        machines[pid].observe(won);
+        pending.remove(pid);
+        propose(pid, &mut machines, &mut rngs, &mut pending, &mut named, &mut holders);
+    }
+
+    LegacyOutcome {
+        total_steps: global_step,
+        named: named.iter().filter(|o| o.is_some()).count(),
+        stats: machines.iter().map(|m| m.stats()).collect(),
+        set_count: memory.set_count(),
+        max_location_accesses: memory.max_accesses(),
+    }
+}
+
+/// The seed's `BatchCall` probe path: every probe re-derives the batch
+/// bounds through the shared layout (`gen_range` over `batch_size`, then
+/// `location()` with its slot assert), instead of today's precomputed
+/// `first + size` pair.
+#[derive(Debug, Clone)]
+struct LegacyBatchCall {
+    layout: Arc<BatchLayout>,
+    base: usize,
+    batch: usize,
+    budget: usize,
+    used: usize,
+    last_location: usize,
+}
+
+impl LegacyBatchCall {
+    fn new(layout: Arc<BatchLayout>, base: usize, batch: usize) -> Self {
+        let budget = layout.probes(batch);
+        Self {
+            layout,
+            base,
+            batch,
+            budget,
+            used: 0,
+            last_location: 0,
+        }
+    }
+
+    fn propose(&mut self, rng: &mut dyn RngCore) -> usize {
+        assert!(self.used < self.budget, "batch call already exhausted");
+        let slot = rng.gen_range(0..self.layout.batch_size(self.batch));
+        assert!(slot < self.layout.batch_size(self.batch));
+        self.last_location = self.base + self.layout.batch_offset(self.batch) + slot;
+        self.last_location
+    }
+
+    /// Returns `Some(location)` on a win, `None` while in progress, and
+    /// flips `exhausted` when the budget runs out.
+    fn observe(&mut self, won: bool) -> (Option<usize>, bool) {
+        if won {
+            return (Some(self.last_location), false);
+        }
+        self.used += 1;
+        (None, self.used >= self.budget)
+    }
+}
+
+/// The seed's ReBatching machine shape: batch calls cloned off the shared
+/// layout per transition (an `Arc` clone each, as the seed's `ObjectCall`
+/// did), followed by the sequential backup scan.
+#[derive(Debug, Clone)]
+pub struct LegacyRebatchingMachine {
+    layout: Arc<BatchLayout>,
+    base: usize,
+    call: LegacyBatchCall,
+    backup_next: usize,
+    in_backup: bool,
+    won: Option<Name>,
+    exhausted: bool,
+    probes: u64,
+}
+
+impl LegacyRebatchingMachine {
+    /// Creates a machine probing the object at `base`.
+    pub fn new(layout: Arc<BatchLayout>, base: usize) -> Self {
+        let call = LegacyBatchCall::new(Arc::clone(&layout), base, 0);
+        Self {
+            layout,
+            base,
+            call,
+            backup_next: 0,
+            in_backup: false,
+            won: None,
+            exhausted: false,
+            probes: 0,
+        }
+    }
+}
+
+impl Renamer for LegacyRebatchingMachine {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        if let Some(name) = self.won {
+            return Action::Done(name);
+        }
+        if self.exhausted {
+            return Action::Stuck;
+        }
+        if self.in_backup {
+            if self.backup_next >= self.layout.namespace_size() {
+                return Action::Stuck;
+            }
+            return Action::Probe(self.base + self.backup_next);
+        }
+        Action::Probe(self.call.propose(rng))
+    }
+
+    fn observe(&mut self, won: bool) {
+        self.probes += 1;
+        if self.in_backup {
+            if won {
+                self.won = Some(Name::new(self.base + self.backup_next));
+            } else {
+                self.backup_next += 1;
+            }
+            return;
+        }
+        let (acquired, exhausted) = self.call.observe(won);
+        if let Some(loc) = acquired {
+            self.won = Some(Name::new(loc));
+        } else if exhausted {
+            let next = self.call.batch + 1;
+            if next < self.layout.batch_count() {
+                // Seed behavior: a fresh call (and Arc clone) per batch.
+                self.call = LegacyBatchCall::new(Arc::clone(&self.layout), self.base, next);
+            } else {
+                self.in_backup = true;
+            }
+        }
+    }
+
+    fn name(&self) -> Option<Name> {
+        self.won
+    }
+
+    fn stats(&self) -> MachineStats {
+        MachineStats {
+            probes: self.probes,
+            names_acquired: u64::from(self.won.is_some()),
+            ..MachineStats::default()
+        }
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "legacy-rebatching"
+    }
+}
+
+/// SplitMix64 finalizer — identical to the engine's seed derivation.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::paper_layout;
+    use crate::MachineKind;
+    use std::sync::Arc;
+
+    #[test]
+    fn legacy_engine_completes_the_sweep_workload() {
+        let layout = paper_layout(64);
+        let kind = MachineKind::Rebatching {
+            layout: Arc::clone(&layout),
+            base: 0,
+        };
+        let outcome = run_legacy(layout.namespace_size(), kind.boxed_fleet(64), 7);
+        assert_eq!(outcome.named, 64);
+        assert!(outcome.total_steps >= 64);
+    }
+}

@@ -18,5 +18,8 @@
 
 pub mod experiments;
 mod harness;
+pub mod legacy;
+pub mod machine_kind;
 
 pub use harness::Harness;
+pub use machine_kind::{AnyMachine, MachineKind};

@@ -104,8 +104,9 @@ impl AdaptiveMachine {
     }
 }
 
-impl Renamer for AdaptiveMachine {
-    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+impl AdaptiveMachine {
+    #[inline]
+    fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
         match &mut self.phase {
             Phase::Race { call, .. } => Action::Probe(call.propose(rng)),
             Phase::Search {
@@ -118,6 +119,17 @@ impl Renamer for AdaptiveMachine {
             Phase::Finished(name) => Action::Done(*name),
             Phase::Stuck => Action::Stuck,
         }
+    }
+}
+
+impl Renamer for AdaptiveMachine {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        self.propose_impl(rng)
+    }
+
+    #[inline]
+    fn propose_typed<R: RngCore>(&mut self, rng: &mut R) -> Action {
+        self.propose_impl(rng)
     }
 
     fn observe(&mut self, won: bool) {

@@ -14,8 +14,9 @@
 
 use std::sync::Arc;
 
-use rand::{Rng, RngCore};
+use rand::RngCore;
 
+use crate::rng::sample_bounded;
 use crate::BatchLayout;
 
 /// Progress of a sub-call after observing a probe outcome.
@@ -31,12 +32,17 @@ pub enum CallStatus {
 
 /// The paper's `TryGetName(i)`: at most `t_i` independent uniformly random
 /// probes in batch `i` of one ReBatching object.
+///
+/// The batch's global bounds are resolved once at construction, so each
+/// probe is a single bounded coin flip plus an add — no layout lookups on
+/// the per-probe path.
 #[derive(Debug, Clone)]
 pub struct BatchCall {
-    layout: Arc<BatchLayout>,
-    /// Global offset of the object inside the shared memory.
-    base: usize,
     batch: usize,
+    /// Global index of the batch's first location (`base + offset(batch)`).
+    first: usize,
+    /// `b_batch`, the number of locations probed uniformly.
+    size: usize,
     budget: usize,
     used: usize,
     last_location: usize,
@@ -49,11 +55,22 @@ impl BatchCall {
     ///
     /// Panics if `batch` is out of range for the layout.
     pub fn new(layout: Arc<BatchLayout>, base: usize, batch: usize) -> Self {
+        Self::new_ref(&layout, base, batch)
+    }
+
+    /// As [`new`](Self::new), but borrowing the layout — the call only
+    /// reads it at construction, so composite machines that already hold
+    /// an `Arc` avoid a clone/drop pair per batch transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is out of range for the layout.
+    pub fn new_ref(layout: &BatchLayout, base: usize, batch: usize) -> Self {
         let budget = layout.probes(batch); // panics on bad batch
         Self {
-            layout,
-            base,
             batch,
+            first: base + layout.batch_offset(batch),
+            size: layout.batch_size(batch),
             budget,
             used: 0,
             last_location: 0,
@@ -72,14 +89,18 @@ impl BatchCall {
 
     /// Chooses the next probe location (flipping coins from `rng`).
     ///
+    /// Generic over the generator so the monomorphic engine tier inlines
+    /// the whole sampling path; `&mut dyn RngCore` still works (the
+    /// trait-object type itself implements `RngCore`).
+    ///
     /// # Panics
     ///
     /// Panics if the call is already exhausted — composite machines must
     /// check [`CallStatus`] from [`observe`](Self::observe).
-    pub fn propose(&mut self, rng: &mut dyn RngCore) -> usize {
+    #[inline]
+    pub fn propose<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> usize {
         assert!(self.used < self.budget, "batch call already exhausted");
-        let slot = rng.gen_range(0..self.layout.batch_size(self.batch));
-        self.last_location = self.base + self.layout.location(self.batch, slot);
+        self.last_location = self.first + sample_bounded(rng, self.size);
         self.last_location
     }
 
@@ -132,7 +153,7 @@ impl ObjectCall {
     }
 
     fn with_backup_flag(layout: Arc<BatchLayout>, base: usize, backup: bool) -> Self {
-        let first = BatchCall::new(Arc::clone(&layout), base, 0);
+        let first = BatchCall::new_ref(&layout, base, 0);
         Self {
             layout,
             base,
@@ -164,7 +185,8 @@ impl ObjectCall {
     /// # Panics
     ///
     /// Panics if the call already finished.
-    pub fn propose(&mut self, rng: &mut dyn RngCore) -> usize {
+    #[inline]
+    pub fn propose<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> usize {
         match &mut self.state {
             ObjectState::Batch(call) => call.propose(rng),
             ObjectState::Backup { next } => self.base + *next,
@@ -186,8 +208,8 @@ impl ObjectCall {
                     let next_batch = call.batch() + 1;
                     if next_batch < self.layout.batch_count() {
                         self.deepest_batch = next_batch;
-                        self.state = ObjectState::Batch(BatchCall::new(
-                            Arc::clone(&self.layout),
+                        self.state = ObjectState::Batch(BatchCall::new_ref(
+                            &self.layout,
                             self.base,
                             next_batch,
                         ));

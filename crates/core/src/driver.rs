@@ -23,8 +23,11 @@ use crate::RenamingError;
 ///
 /// # Panics
 ///
-/// Panics if the machine proposes a probe outside `slots` — that is a bug
-/// in the machine, not a runtime condition.
+/// In debug builds, panics if the machine proposes a probe outside `slots`
+/// — that is a bug in the machine, not a runtime condition. The check sits
+/// inside the per-probe loop, so release builds elide it and rely on
+/// `TasArray`'s own bounds check to catch the (machine-bug) case.
+#[inline]
 pub fn drive<M, T, R>(machine: &mut M, slots: &TasArray<T>, rng: &mut R) -> Result<Name, RenamingError>
 where
     M: Renamer + ?Sized,
@@ -34,7 +37,7 @@ where
     loop {
         match machine.propose(rng) {
             Action::Probe(location) => {
-                assert!(
+                debug_assert!(
                     location < slots.len(),
                     "machine probed location {location} outside the {}-slot array",
                     slots.len()

@@ -275,8 +275,9 @@ impl FastAdaptiveMachine {
     }
 }
 
-impl Renamer for FastAdaptiveMachine {
-    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+impl FastAdaptiveMachine {
+    #[inline]
+    fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
         // `observe` always settles the machine into a probe-ready or
         // terminal phase before returning.
         match &mut self.phase {
@@ -292,6 +293,17 @@ impl Renamer for FastAdaptiveMachine {
             Phase::Finished(name) => Action::Done(*name),
             Phase::Stuck => Action::Stuck,
         }
+    }
+}
+
+impl Renamer for FastAdaptiveMachine {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        self.propose_impl(rng)
+    }
+
+    #[inline]
+    fn propose_typed<R: RngCore>(&mut self, rng: &mut R) -> Action {
+        self.propose_impl(rng)
     }
 
     fn observe(&mut self, won: bool) {

@@ -122,6 +122,7 @@ impl BatchLayout {
     /// # Panics
     ///
     /// Panics if `i > κ`.
+    #[inline]
     pub fn batch_size(&self, i: usize) -> usize {
         self.sizes[i]
     }
@@ -131,6 +132,7 @@ impl BatchLayout {
     /// # Panics
     ///
     /// Panics if `i > κ`.
+    #[inline]
     pub fn batch_offset(&self, i: usize) -> usize {
         self.offsets[i]
     }
@@ -161,13 +163,17 @@ impl BatchLayout {
         (0..self.batch_count()).map(|i| self.probes(i)).sum()
     }
 
-    /// The location (name) of `slot` within batch `batch`.
+    /// The location (name) of `slot` within batch `batch`: one add against
+    /// the precomputed offset prefix sums.
     ///
     /// # Panics
     ///
-    /// Panics if `batch > κ` or `slot >= batch_size(batch)`.
+    /// Panics if `batch > κ`; the slot bound is a `debug_assert` (callers
+    /// on the probe path — [`crate::calls::BatchCall`] — sample slots from
+    /// the batch size, so the bound holds by construction).
+    #[inline]
     pub fn location(&self, batch: usize, slot: usize) -> usize {
-        assert!(
+        debug_assert!(
             slot < self.sizes[batch],
             "slot {slot} out of range for batch {batch} (size {})",
             self.sizes[batch]
@@ -300,6 +306,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)]
     fn bad_slot_panics() {
         let l = layout(16, 1.0);
         l.location(0, 16);

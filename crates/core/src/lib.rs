@@ -49,6 +49,7 @@ mod fast_adaptive;
 mod layout;
 mod params;
 mod rebatching;
+pub mod rng;
 
 pub use adaptive::{AdaptiveMachine, AdaptiveRebatching};
 pub use adaptive_layout::AdaptiveLayout;
@@ -57,6 +58,7 @@ pub use fast_adaptive::{FastAdaptiveMachine, FastAdaptiveRebatching};
 pub use layout::BatchLayout;
 pub use params::{Epsilon, ProbeSchedule, DEFAULT_BETA};
 pub use rebatching::{Rebatching, RebatchingMachine};
+pub use rng::FastRng;
 
 // Re-export the vocabulary types callers need.
 pub use renaming_sim::Name;

@@ -40,8 +40,9 @@ impl RebatchingMachine {
     }
 }
 
-impl Renamer for RebatchingMachine {
-    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+impl RebatchingMachine {
+    #[inline]
+    fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
         if let Some(name) = self.won {
             return Action::Done(name);
         }
@@ -49,6 +50,17 @@ impl Renamer for RebatchingMachine {
             return Action::Stuck;
         }
         Action::Probe(self.call.propose(rng))
+    }
+}
+
+impl Renamer for RebatchingMachine {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        self.propose_impl(rng)
+    }
+
+    #[inline]
+    fn propose_typed<R: RngCore>(&mut self, rng: &mut R) -> Action {
+        self.propose_impl(rng)
     }
 
     fn observe(&mut self, won: bool) {
@@ -161,9 +173,11 @@ impl Rebatching<AtomicTas> {
             "name {name} outside the namespace 0..{}",
             self.namespace_size()
         );
-        let slot = self.slots.slot(name.value());
-        assert!(slot.is_set(), "releasing name {name} that is not held");
-        slot.reset();
+        // reset_slot keeps the array's O(1) win counter consistent.
+        assert!(
+            self.slots.reset_slot(name.value()),
+            "releasing name {name} that is not held"
+        );
     }
 
     /// Creates an object with the default `β = 3`.

@@ -3,6 +3,7 @@
 /// Lanczos approximation coefficients (g = 7, 9 terms) — standard values
 /// giving ~1e-13 relative accuracy over the positive reals.
 const LANCZOS_G: f64 = 7.0;
+#[allow(clippy::excessive_precision)]
 const LANCZOS_COEFFS: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,
@@ -53,7 +54,7 @@ pub fn ln_factorial(k: u64) -> f64 {
     const TABLE: [f64; 21] = [
         0.0,
         0.0,
-        0.693_147_180_559_945_3,
+        std::f64::consts::LN_2,
         1.791_759_469_228_055,
         3.178_053_830_347_945_8,
         4.787_491_742_782_046,

@@ -31,8 +31,9 @@ impl CollisionSeeker {
     }
 }
 
-impl Adversary for CollisionSeeker {
-    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+impl CollisionSeeker {
+    #[inline]
+    fn next_impl<R: rand::Rng + ?Sized>(&mut self, view: &SchedView<'_>, rng: &mut R) -> ProcessId {
         while let Some(pid) = self.doomed.pop_front() {
             // Still waiting with a probe aimed at a now-set location?
             if view.pending.contains(pid) && view.memory.is_set(view.pending.location(pid)) {
@@ -40,6 +41,17 @@ impl Adversary for CollisionSeeker {
             }
         }
         view.pending.random(rng)
+    }
+}
+
+impl Adversary for CollisionSeeker {
+    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+        self.next_impl(view, rng)
+    }
+
+    #[inline]
+    fn next_typed<R: RngCore>(&mut self, view: &SchedView<'_>, rng: &mut R) -> ProcessId {
+        self.next_impl(view, rng)
     }
 
     fn on_executed(&mut self, pid: ProcessId, location: usize, won: bool, pending: &PendingSet) {
@@ -50,6 +62,10 @@ impl Adversary for CollisionSeeker {
                 }
             }
         }
+    }
+
+    fn wants_location_index(&self) -> bool {
+        true // on_executed scans pids_at(location) for doomed probes
     }
 
     fn label(&self) -> &'static str {

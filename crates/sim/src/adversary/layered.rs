@@ -32,8 +32,9 @@ impl LayeredPermutation {
     }
 }
 
-impl Adversary for LayeredPermutation {
-    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+impl LayeredPermutation {
+    #[inline]
+    fn next_impl<R: rand::Rng + ?Sized>(&mut self, view: &SchedView<'_>, rng: &mut R) -> ProcessId {
         loop {
             match self.queue.pop_front() {
                 Some(pid) if view.pending.contains(pid) => return pid,
@@ -49,6 +50,17 @@ impl Adversary for LayeredPermutation {
                 }
             }
         }
+    }
+}
+
+impl Adversary for LayeredPermutation {
+    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+        self.next_impl(view, rng)
+    }
+
+    #[inline]
+    fn next_typed<R: RngCore>(&mut self, view: &SchedView<'_>, rng: &mut R) -> ProcessId {
+        self.next_impl(view, rng)
     }
 
     fn layers(&self) -> Option<u64> {

@@ -62,6 +62,19 @@ pub trait Adversary {
     /// Chooses the process whose pending probe executes next.
     fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId;
 
+    /// Monomorphic variant of [`next`](Self::next): the runner's typed
+    /// tier calls this with a concrete generator. The default forwards
+    /// through the dynamic entry point; strategies override it purely as
+    /// an optimization (same decisions, same coin consumption). Excluded
+    /// from `dyn Adversary` (`Self: Sized`).
+    #[inline]
+    fn next_typed<R: RngCore>(&mut self, view: &SchedView<'_>, rng: &mut R) -> ProcessId
+    where
+        Self: Sized,
+    {
+        self.next(view, rng)
+    }
+
     /// Hook invoked after every executed probe, before the process
     /// proposes its next action. `pending` still contains `pid`'s just
     /// executed probe registration. Strong adversaries use this to track
@@ -82,6 +95,15 @@ pub trait Adversary {
         None
     }
 
+    /// Whether this strategy reads [`PendingSet::pids_at`]. The runner
+    /// skips per-location index maintenance — a measurable slice of the
+    /// per-probe loop — for strategies that return `false` (the default).
+    /// Strong adversaries that inspect colliding probes must return
+    /// `true`.
+    fn wants_location_index(&self) -> bool {
+        false
+    }
+
     /// Short label for reports.
     fn label(&self) -> &'static str;
 }
@@ -91,6 +113,30 @@ impl std::fmt::Debug for dyn Adversary + '_ {
         f.debug_struct("Adversary")
             .field("label", &self.label())
             .finish()
+    }
+}
+
+/// Boxes forward to the boxed strategy, so the runner's boxed tier is just
+/// the generic engine instantiated at `A = Box<dyn Adversary>`.
+impl<T: Adversary + ?Sized> Adversary for Box<T> {
+    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+        (**self).next(view, rng)
+    }
+
+    fn on_executed(&mut self, pid: ProcessId, location: usize, won: bool, pending: &PendingSet) {
+        (**self).on_executed(pid, location, won, pending)
+    }
+
+    fn layers(&self) -> Option<u64> {
+        (**self).layers()
+    }
+
+    fn wants_location_index(&self) -> bool {
+        (**self).wants_location_index()
+    }
+
+    fn label(&self) -> &'static str {
+        (**self).label()
     }
 }
 

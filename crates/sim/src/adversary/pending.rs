@@ -1,38 +1,94 @@
 //! Incrementally-maintained set of schedulable processes.
 
-use std::collections::HashMap;
-
 use rand::Rng;
 
 use crate::ProcessId;
+
+/// Per-process entry: position in the dense pid vector plus the pending
+/// probe location, co-located in one 8-byte record (one cache access per
+/// membership-plus-location query). `u32` fields cap simulations at
+/// `u32::MAX - 1` processes and locations — far beyond what fits in
+/// memory; enforced in [`PendingSet::new`] and [`PendingSet::add`].
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Index into `pids`, or [`NOT_PENDING`].
+    pos: u32,
+    /// Pending probe location (valid while `pos != NOT_PENDING`).
+    location: u32,
+}
+
+/// Sentinel `pos` for processes without a pending probe.
+const NOT_PENDING: u32 = u32::MAX;
 
 /// The set of processes that currently have a pending shared-memory probe,
 /// with O(1) membership, O(1) random sampling, and per-location indexing.
 ///
 /// Maintained by the runner; adversaries only read it. The per-location
 /// index is what lets strong adversaries find colliding probes without
-/// scanning.
+/// scanning. All state is flat vectors (the location index grows on
+/// demand to the largest location seen), so the per-probe bookkeeping in
+/// the runner's hot loop does no hashing and no per-operation allocation
+/// in steady state.
 #[derive(Debug, Clone)]
 pub struct PendingSet {
     /// Dense vector of schedulable pids (order unspecified).
     pids: Vec<ProcessId>,
-    /// pid -> index into `pids`, or `None` when not pending.
-    pos: Vec<Option<usize>>,
-    /// pid -> pending probe location (valid while `pos[pid].is_some()`).
-    location_of: Vec<usize>,
-    /// location -> pids currently pending on it.
-    at_location: HashMap<usize, Vec<ProcessId>>,
+    /// pid -> position and pending location.
+    entries: Vec<Entry>,
+    /// location -> pids currently pending on it (empty buckets persist
+    /// after removal; they cost one `Vec` header each and save rehashing).
+    at_location: Vec<Vec<ProcessId>>,
+    /// Whether the per-location index is maintained. The runner disables
+    /// it when the adversary's
+    /// [`wants_location_index`](crate::adversary::Adversary::wants_location_index)
+    /// is `false`, removing bucket bookkeeping from the per-probe loop.
+    index_enabled: bool,
 }
 
 impl PendingSet {
-    /// Creates an empty set for processes `0..n`.
+    /// Creates an empty set for processes `0..n` with the per-location
+    /// index enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= u32::MAX` (the dense entry encoding's cap).
     pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "process count exceeds u32 capacity");
         Self {
             pids: Vec::with_capacity(n),
-            pos: vec![None; n],
-            location_of: vec![0; n],
-            at_location: HashMap::new(),
+            entries: vec![
+                Entry {
+                    pos: NOT_PENDING,
+                    location: 0,
+                };
+                n
+            ],
+            at_location: Vec::new(),
+            index_enabled: true,
         }
+    }
+
+    /// Resets to an empty set for processes `0..n`, reusing allocations
+    /// (runner-internal scratch reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= u32::MAX`.
+    pub(crate) fn reset_to(&mut self, n: usize, index_enabled: bool) {
+        assert!(n < u32::MAX as usize, "process count exceeds u32 capacity");
+        self.pids.clear();
+        self.entries.clear();
+        self.entries.resize(
+            n,
+            Entry {
+                pos: NOT_PENDING,
+                location: 0,
+            },
+        );
+        for bucket in &mut self.at_location {
+            bucket.clear();
+        }
+        self.index_enabled = index_enabled;
     }
 
     /// Number of schedulable processes.
@@ -46,8 +102,9 @@ impl PendingSet {
     }
 
     /// Returns `true` if `pid` has a pending probe.
+    #[inline]
     pub fn contains(&self, pid: ProcessId) -> bool {
-        self.pos.get(pid).is_some_and(|p| p.is_some())
+        self.entries.get(pid).is_some_and(|e| e.pos != NOT_PENDING)
     }
 
     /// The pending probe location of `pid`.
@@ -55,9 +112,14 @@ impl PendingSet {
     /// # Panics
     ///
     /// Panics if `pid` is not pending.
+    #[inline]
     pub fn location(&self, pid: ProcessId) -> usize {
-        assert!(self.contains(pid), "process {pid} has no pending probe");
-        self.location_of[pid]
+        let entry = &self.entries[pid];
+        assert!(
+            entry.pos != NOT_PENDING,
+            "process {pid} has no pending probe"
+        );
+        entry.location as usize
     }
 
     /// Iterates over the schedulable pids (unspecified order).
@@ -66,9 +128,20 @@ impl PendingSet {
     }
 
     /// The pids currently pending on `location`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-location index is disabled — a strong adversary
+    /// that reads this must return `true` from
+    /// [`wants_location_index`](crate::adversary::Adversary::wants_location_index).
     pub fn pids_at(&self, location: usize) -> &[ProcessId] {
+        assert!(
+            self.index_enabled,
+            "pids_at() requires the location index; \
+             override Adversary::wants_location_index to request it"
+        );
         self.at_location
-            .get(&location)
+            .get(location)
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -100,15 +173,57 @@ impl PendingSet {
     /// # Panics
     ///
     /// Panics if `pid` is already pending or out of range.
+    #[inline]
     pub(crate) fn add(&mut self, pid: ProcessId, location: usize) {
         assert!(
-            self.pos[pid].is_none(),
+            self.entries[pid].pos == NOT_PENDING,
             "process {pid} already has a pending probe"
         );
-        self.pos[pid] = Some(self.pids.len());
+        assert!(
+            location < u32::MAX as usize,
+            "location exceeds u32 capacity"
+        );
+        self.entries[pid] = Entry {
+            pos: self.pids.len() as u32,
+            location: location as u32,
+        };
         self.pids.push(pid);
-        self.location_of[pid] = location;
-        self.at_location.entry(location).or_default().push(pid);
+        if self.index_enabled {
+            if location >= self.at_location.len() {
+                self.at_location.resize_with(location + 1, Vec::new);
+            }
+            self.at_location[location].push(pid);
+        }
+    }
+
+    /// Re-aims `pid`'s pending probe at `location` without leaving the
+    /// set — the common executed-probe-then-reprobe transition, one entry
+    /// rewrite instead of a remove/add pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not pending or `location >= u32::MAX`.
+    #[inline]
+    pub(crate) fn replace(&mut self, pid: ProcessId, location: usize) {
+        let entry = &mut self.entries[pid];
+        assert!(entry.pos != NOT_PENDING, "process not pending");
+        assert!(
+            location < u32::MAX as usize,
+            "location exceeds u32 capacity"
+        );
+        let old = entry.location as usize;
+        entry.location = location as u32;
+        if self.index_enabled && old != location {
+            if let Some(bucket) = self.at_location.get_mut(old) {
+                if let Some(i) = bucket.iter().position(|&p| p == pid) {
+                    bucket.swap_remove(i);
+                }
+            }
+            if location >= self.at_location.len() {
+                self.at_location.resize_with(location + 1, Vec::new);
+            }
+            self.at_location[location].push(pid);
+        }
     }
 
     /// Removes `pid` (probe executed, process finished, or crashed).
@@ -116,20 +231,22 @@ impl PendingSet {
     /// # Panics
     ///
     /// Panics if `pid` is not pending.
+    #[inline]
     pub(crate) fn remove(&mut self, pid: ProcessId) {
-        let idx = self.pos[pid].take().expect("process not pending");
+        let idx = self.entries[pid].pos;
+        assert!(idx != NOT_PENDING, "process not pending");
+        self.entries[pid].pos = NOT_PENDING;
         let last = self.pids.pop().expect("pending vec empty");
         if last != pid {
-            self.pids[idx] = last;
-            self.pos[last] = Some(idx);
+            self.pids[idx as usize] = last;
+            self.entries[last].pos = idx;
         }
-        let loc = self.location_of[pid];
-        if let Some(bucket) = self.at_location.get_mut(&loc) {
-            if let Some(i) = bucket.iter().position(|&p| p == pid) {
-                bucket.swap_remove(i);
-            }
-            if bucket.is_empty() {
-                self.at_location.remove(&loc);
+        if self.index_enabled {
+            let loc = self.entries[pid].location as usize;
+            if let Some(bucket) = self.at_location.get_mut(loc) {
+                if let Some(i) = bucket.iter().position(|&p| p == pid) {
+                    bucket.swap_remove(i);
+                }
             }
         }
     }

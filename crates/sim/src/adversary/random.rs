@@ -25,6 +25,11 @@ impl Adversary for UniformRandom {
         view.pending.random(rng)
     }
 
+    #[inline]
+    fn next_typed<R: RngCore>(&mut self, view: &SchedView<'_>, rng: &mut R) -> ProcessId {
+        view.pending.random(rng)
+    }
+
     fn label(&self) -> &'static str {
         "uniform-random"
     }

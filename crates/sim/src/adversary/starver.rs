@@ -31,8 +31,9 @@ impl Starver {
     }
 }
 
-impl Adversary for Starver {
-    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+impl Starver {
+    #[inline]
+    fn next_impl<R: rand::Rng + ?Sized>(&mut self, view: &SchedView<'_>, rng: &mut R) -> ProcessId {
         // Any non-victim first; sampling is cheap and avoids bias.
         if view.pending.len() == 1 || !view.pending.contains(self.victim) {
             return view.pending.random(rng);
@@ -43,6 +44,17 @@ impl Adversary for Starver {
                 return pid;
             }
         }
+    }
+}
+
+impl Adversary for Starver {
+    fn next(&mut self, view: &SchedView<'_>, rng: &mut dyn RngCore) -> ProcessId {
+        self.next_impl(view, rng)
+    }
+
+    #[inline]
+    fn next_typed<R: RngCore>(&mut self, view: &SchedView<'_>, rng: &mut R) -> ProcessId {
+        self.next_impl(view, rng)
     }
 
     fn label(&self) -> &'static str {

@@ -79,22 +79,27 @@ impl CrashPlan {
         self.crashes.iter().map(|&(_, pid)| pid)
     }
 
-    /// Iterates (consuming a cursor) over the crashes due at or before
-    /// `step`. Used by the runner; `cursor` must start at 0 and be threaded
-    /// through successive calls.
-    pub(crate) fn due(&self, cursor: &mut usize, step: u64) -> Vec<ProcessId> {
-        let mut out = Vec::new();
+    /// Advances `cursor` past the crashes due at or before `step` and
+    /// returns them as a slice (the plan is sorted by step, so due entries
+    /// are contiguous — no allocation on the runner's per-step path).
+    /// `cursor` must start at 0 and be threaded through successive calls.
+    #[inline]
+    pub(crate) fn due(&self, cursor: &mut usize, step: u64) -> &[(u64, ProcessId)] {
+        let start = *cursor;
         while *cursor < self.crashes.len() && self.crashes[*cursor].0 <= step {
-            out.push(self.crashes[*cursor].1);
             *cursor += 1;
         }
-        out
+        &self.crashes[start..*cursor]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn due_pids(p: &CrashPlan, cursor: &mut usize, step: u64) -> Vec<ProcessId> {
+        p.due(cursor, step).iter().map(|&(_, pid)| pid).collect()
+    }
 
     #[test]
     fn none_is_empty() {
@@ -109,10 +114,10 @@ mod tests {
     fn at_steps_sorts() {
         let p = CrashPlan::at_steps(vec![(10, 2), (3, 0), (7, 1)]);
         let mut cursor = 0;
-        assert_eq!(p.due(&mut cursor, 2), Vec::<usize>::new());
-        assert_eq!(p.due(&mut cursor, 7), vec![0, 1]);
-        assert_eq!(p.due(&mut cursor, 100), vec![2]);
-        assert_eq!(p.due(&mut cursor, 1_000), Vec::<usize>::new());
+        assert_eq!(due_pids(&p, &mut cursor, 2), Vec::<usize>::new());
+        assert_eq!(due_pids(&p, &mut cursor, 7), vec![0, 1]);
+        assert_eq!(due_pids(&p, &mut cursor, 100), vec![2]);
+        assert_eq!(due_pids(&p, &mut cursor, 1_000), Vec::<usize>::new());
     }
 
     #[test]

@@ -103,6 +103,34 @@ pub trait Renamer {
     /// must never be called after it returned [`Action::Done`].
     fn propose(&mut self, rng: &mut dyn RngCore) -> Action;
 
+    /// Monomorphic variant of [`propose`](Self::propose): the runner's
+    /// typed tier calls this with a concrete generator so the whole
+    /// coin-flip path can inline. The default forwards through the
+    /// dynamic entry point (semantically identical — implement it only as
+    /// an optimization, and keep both paths flipping the same coins).
+    /// Excluded from `dyn Renamer` (`Self: Sized`).
+    #[inline]
+    fn propose_typed<R: RngCore>(&mut self, rng: &mut R) -> Action
+    where
+        Self: Sized,
+    {
+        self.propose(rng)
+    }
+
+    /// Fused [`observe`](Self::observe) + [`propose_typed`](Self::propose_typed):
+    /// one dispatch per executed probe on the typed tier. The default is
+    /// exactly the two calls in sequence; enum-dispatched machines
+    /// override it to branch on their variant once instead of twice.
+    /// Excluded from `dyn Renamer` (`Self: Sized`).
+    #[inline]
+    fn step_typed<R: RngCore>(&mut self, won: bool, rng: &mut R) -> Action
+    where
+        Self: Sized,
+    {
+        self.observe(won);
+        self.propose_typed(rng)
+    }
+
     /// Report the outcome of the most recently proposed probe
     /// (`won == true` iff the TAS was won).
     fn observe(&mut self, won: bool);
@@ -127,6 +155,31 @@ impl fmt::Debug for dyn Renamer + '_ {
             .field("algorithm", &self.algorithm())
             .field("name", &self.name())
             .finish()
+    }
+}
+
+/// Boxes forward to the boxed machine, so `Vec<Box<dyn Renamer>>` runs on
+/// the same generic engine as concrete machine vectors (the boxed tier of
+/// the runner is just `M = Box<dyn Renamer>`).
+impl<T: Renamer + ?Sized> Renamer for Box<T> {
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Action {
+        (**self).propose(rng)
+    }
+
+    fn observe(&mut self, won: bool) {
+        (**self).observe(won)
+    }
+
+    fn name(&self) -> Option<Name> {
+        (**self).name()
+    }
+
+    fn stats(&self) -> MachineStats {
+        (**self).stats()
+    }
+
+    fn algorithm(&self) -> &'static str {
+        (**self).algorithm()
     }
 }
 

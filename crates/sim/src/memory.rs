@@ -4,12 +4,29 @@ use serde::{Deserialize, Serialize};
 
 use crate::ProcessId;
 
+/// One TAS location's state: winner (or unset) plus its access count,
+/// co-located in a single 8-byte record so a probe touches one cache line
+/// slot instead of three parallel arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Location {
+    /// Winning pid, or [`UNSET`] while the location is free. `u32` keeps
+    /// the record dense; simulations are capped at `u32::MAX - 1`
+    /// processes (enforced in [`TasMemory::test_and_set`]), far beyond
+    /// what fits in memory anyway.
+    winner: u32,
+    /// Number of TAS operations that hit the location.
+    accesses: u32,
+}
+
+/// Sentinel winner value for free locations.
+const UNSET: u32 = u32::MAX;
+
 /// The shared array of test-and-set locations used by a simulated
 /// execution.
 ///
-/// Besides the boolean flags themselves, the memory records which process
-/// won each location and how often each location was probed — the
-/// contention statistics several experiments report.
+/// Besides the win flags themselves, the memory records which process won
+/// each location and how often each location was probed — the contention
+/// statistics several experiments report.
 ///
 /// # Example
 ///
@@ -24,29 +41,36 @@ use crate::ProcessId;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TasMemory {
-    set: Vec<bool>,
-    winners: Vec<Option<ProcessId>>,
-    accesses: Vec<u32>,
+    locations: Vec<Location>,
+    /// Number of won locations, maintained incrementally so
+    /// [`set_count`](Self::set_count) is O(1) (the runner reads it once
+    /// per report, experiments may poll it per trial).
+    wins: usize,
 }
 
 impl TasMemory {
     /// Creates `size` unset locations.
     pub fn new(size: usize) -> Self {
         Self {
-            set: vec![false; size],
-            winners: vec![None; size],
-            accesses: vec![0; size],
+            locations: vec![
+                Location {
+                    winner: UNSET,
+                    accesses: 0,
+                };
+                size
+            ],
+            wins: 0,
         }
     }
 
     /// Number of locations.
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.locations.len()
     }
 
     /// Returns `true` if the memory has no locations.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.locations.is_empty()
     }
 
     /// Performs a TAS on `location` on behalf of `pid`; returns `true` if
@@ -54,14 +78,16 @@ impl TasMemory {
     ///
     /// # Panics
     ///
-    /// Panics if `location` is out of bounds.
+    /// Panics if `location` is out of bounds or `pid >= u32::MAX`.
+    #[inline]
     pub fn test_and_set(&mut self, location: usize, pid: ProcessId) -> bool {
-        self.accesses[location] = self.accesses[location].saturating_add(1);
-        if self.set[location] {
+        let loc = &mut self.locations[location];
+        loc.accesses = loc.accesses.saturating_add(1);
+        if loc.winner != UNSET {
             false
         } else {
-            self.set[location] = true;
-            self.winners[location] = Some(pid);
+            loc.winner = u32::try_from(pid).expect("process id exceeds u32 capacity");
+            self.wins += 1;
             true
         }
     }
@@ -71,8 +97,9 @@ impl TasMemory {
     /// # Panics
     ///
     /// Panics if `location` is out of bounds.
+    #[inline]
     pub fn is_set(&self, location: usize) -> bool {
-        self.set[location]
+        self.locations[location].winner != UNSET
     }
 
     /// The process that won `location`, if any.
@@ -81,7 +108,10 @@ impl TasMemory {
     ///
     /// Panics if `location` is out of bounds.
     pub fn winner(&self, location: usize) -> Option<ProcessId> {
-        self.winners[location]
+        match self.locations[location].winner {
+            UNSET => None,
+            pid => Some(pid as ProcessId),
+        }
     }
 
     /// How many TAS operations hit `location`.
@@ -90,29 +120,45 @@ impl TasMemory {
     ///
     /// Panics if `location` is out of bounds.
     pub fn accesses(&self, location: usize) -> u32 {
-        self.accesses[location]
+        self.locations[location].accesses
     }
 
-    /// Number of won locations.
+    /// Number of won locations (O(1): maintained incrementally).
     pub fn set_count(&self) -> usize {
-        self.set.iter().filter(|s| **s).count()
+        self.wins
     }
 
     /// The largest access count over all locations (peak contention).
     pub fn max_accesses(&self) -> u32 {
-        self.accesses.iter().copied().max().unwrap_or(0)
+        self.locations.iter().map(|l| l.accesses).max().unwrap_or(0)
     }
 
     /// Total TAS operations across all locations.
     pub fn total_accesses(&self) -> u64 {
-        self.accesses.iter().map(|&a| u64::from(a)).sum()
+        self.locations.iter().map(|l| u64::from(l.accesses)).sum()
     }
 
     /// Resets all locations and statistics (for trial reuse).
     pub fn reset(&mut self) {
-        self.set.iter_mut().for_each(|s| *s = false);
-        self.winners.iter_mut().for_each(|w| *w = None);
-        self.accesses.iter_mut().for_each(|a| *a = 0);
+        self.locations.iter_mut().for_each(|l| {
+            l.winner = UNSET;
+            l.accesses = 0;
+        });
+        self.wins = 0;
+    }
+
+    /// Resets to `size` unset locations, reusing the allocation
+    /// (runner-internal scratch reuse).
+    pub(crate) fn reset_to(&mut self, size: usize) {
+        self.locations.clear();
+        self.locations.resize(
+            size,
+            Location {
+                winner: UNSET,
+                accesses: 0,
+            },
+        );
+        self.wins = 0;
     }
 }
 

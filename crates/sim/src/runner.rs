@@ -1,10 +1,24 @@
 //! The execution runner: drives step machines under an adversary.
+//!
+//! The runner is a single generic engine instantiated at two tiers:
+//!
+//! * the **boxed tier** ([`Execution::run`]) takes `Vec<Box<dyn Renamer>>`
+//!   and a boxed adversary — maximally flexible, used by code that mixes
+//!   machine types in one execution;
+//! * the **monomorphic tier** ([`Execution::run_typed`]) takes concrete
+//!   machine, adversary and RNG types, so the whole per-probe loop
+//!   compiles down without heap-allocated machines or adversary vtables.
+//!   Paired with a cheap RNG (e.g. `renaming-core`'s xoshiro-based
+//!   `FastRng`) this is the throughput path for large experiment sweeps.
+//!
+//! Both tiers share the same engine function, so they cannot drift: with
+//! the same seed, machines and adversary they produce byte-identical
+//! reports (asserted by the top-level `engine_equivalence` test suite).
 
-use std::collections::HashMap;
 use std::fmt;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::adversary::{Adversary, PendingSet, RoundRobin, SchedView};
 use crate::{
@@ -26,10 +40,72 @@ enum ProcessState {
     Stuck,
 }
 
+/// Which process holds each name: a flat vector indexed by name value for
+/// the `0..memory_size` range every correct machine stays in (names are
+/// location indices), plus a small spill list for arbitrary out-of-range
+/// values from broken machines — duplicate detection stays correct there
+/// without letting a bogus `Name::new(huge)` drive a huge allocation.
+/// `usize::MAX` marks unclaimed names in the flat table — a simulation
+/// cannot have that many processes, and the sentinel halves the table
+/// against `Option<usize>`.
+struct NameHolders {
+    by_name: Vec<ProcessId>,
+    overflow: Vec<(usize, ProcessId)>,
+}
+
+const UNCLAIMED: ProcessId = usize::MAX;
+
+impl NameHolders {
+    fn new(memory_size: usize) -> Self {
+        Self {
+            by_name: vec![UNCLAIMED; memory_size],
+            overflow: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn claim(&mut self, name: Name, pid: ProcessId) -> Result<(), SimError> {
+        let idx = name.value();
+        if idx >= self.by_name.len() {
+            // Out-of-range name: a machine bug. Linear scan is fine — the
+            // spill list only ever holds such bogus names.
+            if let Some(&(_, first)) = self.overflow.iter().find(|&&(v, _)| v == idx) {
+                return Err(SimError::DuplicateName {
+                    name,
+                    first,
+                    second: pid,
+                });
+            }
+            self.overflow.push((idx, pid));
+            return Ok(());
+        }
+        match self.by_name[idx] {
+            UNCLAIMED => {
+                self.by_name[idx] = pid;
+                Ok(())
+            }
+            first => Err(SimError::DuplicateName {
+                name,
+                first,
+                second: pid,
+            }),
+        }
+    }
+
+    /// Resets to `m` unclaimed names, reusing the allocation.
+    fn reset_to(&mut self, m: usize) {
+        self.by_name.clear();
+        self.by_name.resize(m, UNCLAIMED);
+        self.overflow.clear();
+    }
+}
+
 /// Builder for a simulated execution.
 ///
 /// Configure the shared-memory size, the adversary, an optional crash plan
-/// and the random seed, then [`run`](Self::run) a vector of step machines.
+/// and the random seed, then [`run`](Self::run) a vector of boxed step
+/// machines — or [`run_typed`](Self::run_typed) concrete ones on the
+/// monomorphic fast path.
 ///
 /// # Example
 ///
@@ -76,7 +152,8 @@ impl Execution {
         self
     }
 
-    /// Sets the adversarial scheduler.
+    /// Sets the adversarial scheduler (used by [`run`](Self::run); the
+    /// typed tier takes its adversary as an argument instead).
     pub fn adversary(mut self, adversary: Box<dyn Adversary>) -> Self {
         self.adversary = adversary;
         self
@@ -103,7 +180,7 @@ impl Execution {
         self
     }
 
-    /// Runs `machines` to completion.
+    /// Runs boxed `machines` to completion under the configured adversary.
     ///
     /// # Errors
     ///
@@ -113,143 +190,342 @@ impl Execution {
     ///   memory.
     /// * [`SimError::StepLimitExceeded`] on livelock.
     /// * [`SimError::NoProcesses`] if `machines` is empty.
-    pub fn run(mut self, mut machines: Vec<Box<dyn Renamer>>) -> Result<ExecutionReport, SimError> {
-        let n = machines.len();
-        if n == 0 {
-            return Err(SimError::NoProcesses);
-        }
-        let step_limit = self.step_limit.unwrap_or_else(|| {
-            STEP_BUDGET_FACTOR
-                * (n as u64 + self.memory_size as u64)
-                * u64::from((n as u64).ilog2().max(1) + 1)
-        });
+    pub fn run(self, machines: Vec<Box<dyn Renamer>>) -> Result<ExecutionReport, SimError> {
+        let Execution {
+            memory_size,
+            adversary,
+            crash_plan,
+            seed,
+            step_limit,
+            tracing,
+        } = self;
+        run_engine::<_, _, StdRng, _>(
+            EngineConfig {
+                memory_size,
+                crash_plan,
+                seed,
+                step_limit,
+                tracing,
+            },
+            &mut EngineScratch::new(),
+            machines,
+            adversary,
+        )
+    }
 
-        let mut memory = TasMemory::new(self.memory_size);
-        let mut pending = PendingSet::new(n);
-        let mut states: Vec<ProcessState> = (0..n).map(|_| ProcessState::Running).collect();
-        let mut steps = vec![0u64; n];
-        let mut rngs: Vec<StdRng> = (0..n as u64)
-            .map(|pid| StdRng::seed_from_u64(splitmix(self.seed ^ splitmix(pid))))
-            .collect();
-        let mut adv_rng = StdRng::seed_from_u64(splitmix(self.seed.wrapping_add(0x9e37_79b9)));
-        let mut holders: HashMap<usize, ProcessId> = HashMap::new();
-        let mut trace = self.tracing.then(crate::ExecutionTrace::new);
+    /// Monomorphic fast path: runs concrete `machines` under a concrete
+    /// `adversary`, flipping coins with generator type `R`.
+    ///
+    /// This is the same engine as [`run`](Self::run) — identical
+    /// scheduling, crash handling, accounting and safety checks — but
+    /// instantiated without machine boxes or adversary vtables, so the
+    /// per-probe loop monomorphizes and inlines. With `R = StdRng` the
+    /// produced report is byte-identical to the boxed tier's for the same
+    /// seed; with a cheaper generator (e.g. `renaming-core::FastRng`) it
+    /// trades stream identity for throughput.
+    ///
+    /// The adversary configured via [`adversary`](Self::adversary) is
+    /// ignored by this method; pass the typed adversary directly.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_typed<M, A, R>(
+        self,
+        machines: Vec<M>,
+        adversary: A,
+    ) -> Result<ExecutionReport, SimError>
+    where
+        M: Renamer,
+        A: Adversary,
+        R: RngCore + SeedableRng,
+    {
+        let mut scratch = EngineScratch::<M, R>::new();
+        self.run_typed_in(&mut scratch, machines, adversary)
+    }
 
-        // Bootstrap: every process proposes its first action.
-        for pid in 0..n {
-            propose(
-                pid,
-                &mut machines,
-                &mut rngs,
-                &mut pending,
-                &mut states,
-                &mut holders,
-                self.memory_size,
-            )?;
-        }
-
-        let mut global_step = 0u64;
-        let mut crash_cursor = 0usize;
-        loop {
-            for victim in self.crash_plan.due(&mut crash_cursor, global_step) {
-                if victim < n && matches!(states[victim], ProcessState::Running) {
-                    states[victim] = ProcessState::Crashed;
-                    if pending.contains(victim) {
-                        pending.remove(victim);
-                    }
-                }
-            }
-            if pending.is_empty() {
-                break;
-            }
-            let pid = {
-                let view = SchedView {
-                    pending: &pending,
-                    memory: &memory,
-                    step: global_step,
-                };
-                self.adversary.next(&view, &mut adv_rng)
-            };
-            assert!(
-                pending.contains(pid),
-                "adversary `{}` scheduled non-pending process {pid}",
-                self.adversary.label()
-            );
-            let location = pending.location(pid);
-            let won = memory.test_and_set(location, pid);
-            if let Some(trace) = trace.as_mut() {
-                trace.push(crate::TraceEvent {
-                    step: global_step,
-                    pid,
-                    location,
-                    won,
-                });
-            }
-            steps[pid] += 1;
-            global_step += 1;
-            if global_step > step_limit {
-                return Err(SimError::StepLimitExceeded { limit: step_limit });
-            }
-            self.adversary.on_executed(pid, location, won, &pending);
-            machines[pid].observe(won);
-            pending.remove(pid);
-            propose(
-                pid,
-                &mut machines,
-                &mut rngs,
-                &mut pending,
-                &mut states,
-                &mut holders,
-                self.memory_size,
-            )?;
-        }
-
-        let outcomes: Vec<ProcessOutcome> = states
-            .iter()
-            .enumerate()
-            .map(|(pid, s)| match s {
-                ProcessState::Named(name) => ProcessOutcome::Named {
-                    name: *name,
-                    steps: steps[pid],
-                },
-                ProcessState::Crashed => ProcessOutcome::Crashed { steps: steps[pid] },
-                ProcessState::Stuck => ProcessOutcome::Stuck { steps: steps[pid] },
-                ProcessState::Running => {
-                    unreachable!("process {pid} still running after quiescence")
-                }
-            })
-            .collect();
-        let stats: Vec<MachineStats> = machines.iter().map(|m| m.stats()).collect();
-        Ok(ExecutionReport {
-            outcomes,
-            stats,
-            algorithm: machines
-                .first()
-                .map(|m| m.algorithm().to_owned())
-                .unwrap_or_default(),
-            adversary: self.adversary.label().to_owned(),
-            total_steps: global_step,
-            layers: self.adversary.layers(),
-            memory_len: memory.len(),
-            set_count: memory.set_count(),
-            max_location_accesses: memory.max_accesses(),
-            trace,
-        })
+    /// As [`run_typed`](Self::run_typed), but reusing `scratch` for all
+    /// engine state, so a sweep of executions allocates its bookkeeping
+    /// once instead of per trial (the "allocation-free" hot path: in
+    /// steady state the engine performs no heap allocation per execution
+    /// beyond what machines themselves do).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_typed_in<M, A, R, I>(
+        self,
+        scratch: &mut EngineScratch<M, R>,
+        machines: I,
+        adversary: A,
+    ) -> Result<ExecutionReport, SimError>
+    where
+        M: Renamer,
+        A: Adversary,
+        R: RngCore + SeedableRng,
+        I: IntoIterator<Item = M>,
+    {
+        let Execution {
+            memory_size,
+            crash_plan,
+            seed,
+            step_limit,
+            tracing,
+            ..
+        } = self;
+        run_engine::<M, A, R, _>(
+            EngineConfig {
+                memory_size,
+                crash_plan,
+                seed,
+                step_limit,
+                tracing,
+            },
+            scratch,
+            machines,
+            adversary,
+        )
     }
 }
 
-/// Asks `pid`'s machine for its next action and registers it; finalizes the
-/// process if it terminates.
-fn propose(
+/// Reusable engine state for [`Execution::run_typed_in`]: all the
+/// per-execution bookkeeping (process slots, pending set, simulated
+/// memory, name-holder table), kept allocated between runs so sweeps pay
+/// for it once.
+pub struct EngineScratch<M, R> {
+    slots: Vec<Slot<M, R>>,
+    pending: PendingSet,
+    memory: TasMemory,
+    holders: NameHolders,
+}
+
+impl<M, R> EngineScratch<M, R> {
+    /// Creates an empty scratch; the first run sizes it.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            pending: PendingSet::new(0),
+            memory: TasMemory::new(0),
+            holders: NameHolders::new(0),
+        }
+    }
+}
+
+impl<M, R> Default for EngineScratch<M, R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M, R> fmt::Debug for EngineScratch<M, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineScratch")
+            .field("slot_capacity", &self.slots.capacity())
+            .field("memory_len", &self.memory.len())
+            .finish()
+    }
+}
+
+struct EngineConfig {
+    memory_size: usize,
+    crash_plan: CrashPlan,
+    seed: u64,
+    step_limit: Option<u64>,
+    tracing: bool,
+}
+
+/// The engine shared by both tiers. `M`, `A` and `R` are `Box<dyn Renamer>`,
+/// `Box<dyn Adversary>` and `StdRng` on the boxed tier; concrete types on
+/// the monomorphic tier.
+fn run_engine<M, A, R, I>(
+    cfg: EngineConfig,
+    scratch: &mut EngineScratch<M, R>,
+    machines: I,
+    adversary: A,
+) -> Result<ExecutionReport, SimError>
+where
+    M: Renamer,
+    A: Adversary,
+    R: RngCore + SeedableRng,
+    I: IntoIterator<Item = M>,
+{
+    let result = engine_loop(cfg, scratch, machines, adversary);
+    // Drop the consumed machines now — on error paths too — rather than
+    // at the scratch's next reuse (they may hold Arc references callers
+    // expect released).
+    scratch.slots.clear();
+    result
+}
+
+/// The engine body; `run_engine` wraps it to guarantee slot cleanup on
+/// every exit path.
+fn engine_loop<M, A, R, I>(
+    cfg: EngineConfig,
+    scratch: &mut EngineScratch<M, R>,
+    machines: I,
+    mut adversary: A,
+) -> Result<ExecutionReport, SimError>
+where
+    M: Renamer,
+    A: Adversary,
+    R: RngCore + SeedableRng,
+    I: IntoIterator<Item = M>,
+{
+    // Array-of-structs process state: the scheduled pid's machine, coin
+    // stream, step counter and fate live on adjacent cache lines, so the
+    // random-process access pattern of adversarial schedules touches one
+    // region per step instead of four parallel arrays.
+    let slots = &mut scratch.slots;
+    slots.clear();
+    slots.extend(machines.into_iter().enumerate().map(|(pid, machine)| Slot {
+        machine,
+        rng: R::seed_from_u64(splitmix(cfg.seed ^ splitmix(pid as u64))),
+        steps: 0,
+        state: ProcessState::Running,
+    }));
+    let n = slots.len();
+    if n == 0 {
+        return Err(SimError::NoProcesses);
+    }
+    let step_limit = cfg.step_limit.unwrap_or_else(|| {
+        STEP_BUDGET_FACTOR
+            * (n as u64 + cfg.memory_size as u64)
+            * u64::from((n as u64).ilog2().max(1) + 1)
+    });
+
+    let memory = &mut scratch.memory;
+    memory.reset_to(cfg.memory_size);
+    let pending = &mut scratch.pending;
+    pending.reset_to(n, adversary.wants_location_index());
+    let mut adv_rng = R::seed_from_u64(splitmix(cfg.seed.wrapping_add(0x9e37_79b9)));
+    let holders = &mut scratch.holders;
+    holders.reset_to(cfg.memory_size);
+    let mut trace = cfg.tracing.then(crate::ExecutionTrace::new);
+
+    // Bootstrap: every process proposes its first action.
+    for (pid, slot) in slots.iter_mut().enumerate() {
+        propose(pid, slot, pending, holders, cfg.memory_size)?;
+    }
+
+    let mut global_step = 0u64;
+    let mut crash_cursor = 0usize;
+    loop {
+        for &(_, victim) in cfg.crash_plan.due(&mut crash_cursor, global_step) {
+            if victim < n && matches!(slots[victim].state, ProcessState::Running) {
+                slots[victim].state = ProcessState::Crashed;
+                if pending.contains(victim) {
+                    pending.remove(victim);
+                }
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        let pid = {
+            let view = SchedView {
+                pending,
+                memory,
+                step: global_step,
+            };
+            adversary.next_typed(&view, &mut adv_rng)
+        };
+        // `location` panics if the adversary scheduled a non-pending
+        // process — that is a bug in the adversary, not the algorithm.
+        let location = pending.location(pid);
+        let won = memory.test_and_set(location, pid);
+        if let Some(trace) = trace.as_mut() {
+            trace.push(crate::TraceEvent {
+                step: global_step,
+                pid,
+                location,
+                won,
+            });
+        }
+        global_step += 1;
+        if global_step > step_limit {
+            return Err(SimError::StepLimitExceeded { limit: step_limit });
+        }
+        adversary.on_executed(pid, location, won, pending);
+        let slot = &mut slots[pid];
+        slot.steps += 1;
+        // Fused observe + next proposal; a re-probe re-aims the pending
+        // entry in place instead of cycling through remove/add.
+        match slot.machine.step_typed(won, &mut slot.rng) {
+            Action::Probe(location) => {
+                if location >= cfg.memory_size {
+                    return Err(SimError::ProbeOutOfBounds {
+                        pid,
+                        location,
+                        memory: cfg.memory_size,
+                    });
+                }
+                pending.replace(pid, location);
+            }
+            Action::Done(name) => {
+                pending.remove(pid);
+                holders.claim(name, pid)?;
+                slot.state = ProcessState::Named(name);
+            }
+            Action::Stuck => {
+                pending.remove(pid);
+                slot.state = ProcessState::Stuck;
+            }
+        }
+    }
+
+    let outcomes: Vec<ProcessOutcome> = slots
+        .iter()
+        .enumerate()
+        .map(|(pid, slot)| match slot.state {
+            ProcessState::Named(name) => ProcessOutcome::Named {
+                name,
+                steps: slot.steps,
+            },
+            ProcessState::Crashed => ProcessOutcome::Crashed { steps: slot.steps },
+            ProcessState::Stuck => ProcessOutcome::Stuck { steps: slot.steps },
+            ProcessState::Running => {
+                unreachable!("process {pid} still running after quiescence")
+            }
+        })
+        .collect();
+    let stats: Vec<MachineStats> = slots.iter().map(|s| s.machine.stats()).collect();
+    let report = ExecutionReport {
+        outcomes,
+        stats,
+        algorithm: slots
+            .first()
+            .map(|s| s.machine.algorithm().to_owned())
+            .unwrap_or_default(),
+        adversary: adversary.label().to_owned(),
+        total_steps: global_step,
+        layers: adversary.layers(),
+        memory_len: memory.len(),
+        set_count: memory.set_count(),
+        max_location_accesses: memory.max_accesses(),
+        trace,
+    };
+    Ok(report)
+}
+
+/// Per-process engine state, co-located for cache locality.
+struct Slot<M, R> {
+    machine: M,
+    rng: R,
+    steps: u64,
+    state: ProcessState,
+}
+
+/// Asks the machine in `slot` for its next action and registers it;
+/// finalizes the process if it terminates.
+#[inline]
+fn propose<M: Renamer, R: RngCore>(
     pid: ProcessId,
-    machines: &mut [Box<dyn Renamer>],
-    rngs: &mut [StdRng],
+    slot: &mut Slot<M, R>,
     pending: &mut PendingSet,
-    states: &mut [ProcessState],
-    holders: &mut HashMap<usize, ProcessId>,
+    holders: &mut NameHolders,
     memory_size: usize,
 ) -> Result<(), SimError> {
-    match machines[pid].propose(&mut rngs[pid]) {
+    match slot.machine.propose_typed(&mut slot.rng) {
         Action::Probe(location) => {
             if location >= memory_size {
                 return Err(SimError::ProbeOutOfBounds {
@@ -262,19 +538,12 @@ fn propose(
             Ok(())
         }
         Action::Done(name) => {
-            if let Some(&first) = holders.get(&name.value()) {
-                return Err(SimError::DuplicateName {
-                    name,
-                    first,
-                    second: pid,
-                });
-            }
-            holders.insert(name.value(), pid);
-            states[pid] = ProcessState::Named(name);
+            holders.claim(name, pid)?;
+            slot.state = ProcessState::Named(name);
             Ok(())
         }
         Action::Stuck => {
-            states[pid] = ProcessState::Stuck;
+            slot.state = ProcessState::Stuck;
             Ok(())
         }
     }
@@ -356,6 +625,18 @@ mod tests {
         }
     }
 
+    /// Broken machine returning a name far outside the memory.
+    struct FarBroken;
+    impl Renamer for FarBroken {
+        fn propose(&mut self, _rng: &mut dyn RngCore) -> Action {
+            Action::Done(Name::new(1_000_000))
+        }
+        fn observe(&mut self, _won: bool) {}
+        fn name(&self) -> Option<Name> {
+            Some(Name::new(1_000_000))
+        }
+    }
+
     /// Probes a random in-range location until winning one.
     struct RandomProbe {
         m: usize,
@@ -410,6 +691,15 @@ mod tests {
     #[test]
     fn duplicate_names_detected() {
         let machines: Vec<Box<dyn Renamer>> = vec![Box::new(Broken), Box::new(Broken)];
+        let err = Execution::new(1).run(machines).unwrap_err();
+        assert!(matches!(err, SimError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn duplicate_out_of_range_names_detected() {
+        // Name values beyond the memory grow the holder table instead of
+        // panicking, and duplicates are still caught.
+        let machines: Vec<Box<dyn Renamer>> = vec![Box::new(FarBroken), Box::new(FarBroken)];
         let err = Execution::new(1).run(machines).unwrap_err();
         assert!(matches!(err, SimError::DuplicateName { .. }));
     }
@@ -494,6 +784,79 @@ mod tests {
         let report = Execution::new(3).run(machines).expect("run");
         let per_process: u64 = report.outcomes.iter().map(|o| o.steps()).sum();
         assert_eq!(per_process, report.total_steps);
+    }
+
+    #[test]
+    fn typed_tier_matches_boxed_tier_exactly() {
+        // Same machines, adversary, seed and RNG type: the two tiers must
+        // produce identical reports (the engine is literally shared).
+        let boxed: Vec<Box<dyn Renamer>> = (0..16)
+            .map(|_| {
+                Box::new(RandomProbe {
+                    m: 32,
+                    last: 0,
+                    done: None,
+                }) as Box<dyn Renamer>
+            })
+            .collect();
+        let report_boxed = Execution::new(32)
+            .adversary(Box::new(UniformRandom::new()))
+            .seed(9)
+            .tracing(true)
+            .run(boxed)
+            .expect("boxed run");
+
+        let typed: Vec<RandomProbe> = (0..16)
+            .map(|_| RandomProbe {
+                m: 32,
+                last: 0,
+                done: None,
+            })
+            .collect();
+        let report_typed = Execution::new(32)
+            .seed(9)
+            .tracing(true)
+            .run_typed::<_, _, StdRng>(typed, UniformRandom::new())
+            .expect("typed run");
+
+        assert_eq!(report_boxed.assigned_names(), report_typed.assigned_names());
+        assert_eq!(report_boxed.total_steps, report_typed.total_steps);
+        assert_eq!(report_boxed.trace, report_typed.trace);
+    }
+
+    #[test]
+    fn typed_tier_supports_any_seedable_rng() {
+        // A trivial non-Std generator: the typed tier only needs
+        // `RngCore + SeedableRng`.
+        struct Weyl(u64);
+        impl RngCore for Weyl {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z ^ (z >> 31)
+            }
+        }
+        impl rand::SeedableRng for Weyl {
+            fn seed_from_u64(seed: u64) -> Self {
+                Weyl(seed)
+            }
+        }
+        let machines: Vec<RandomProbe> = (0..8)
+            .map(|_| RandomProbe {
+                m: 16,
+                last: 0,
+                done: None,
+            })
+            .collect();
+        let report = Execution::new(16)
+            .seed(4)
+            .run_typed::<_, _, Weyl>(machines, UniformRandom::new())
+            .expect("run");
+        assert_eq!(report.named_count(), 8);
     }
 }
 

@@ -114,7 +114,11 @@ impl TournamentTas {
         let mut node = self.leaf_base + pid;
         while node > 1 {
             let parent = node / 2;
-            let side = if node % 2 == 0 { Side::Left } else { Side::Right };
+            let side = if node.is_multiple_of(2) {
+                Side::Left
+            } else {
+                Side::Right
+            };
             let (result, node_ops) = self.nodes[parent].test_and_set_counted(side, rng);
             ops += node_ops;
             if result.lost() {

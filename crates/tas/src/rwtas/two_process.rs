@@ -237,7 +237,7 @@ impl TwoProcessTas {
     #[inline]
     fn pause(spins: &mut u32) {
         *spins += 1;
-        if *spins % 64 == 0 {
+        if (*spins).is_multiple_of(64) {
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();

@@ -1,6 +1,7 @@
 //! Cache-padded arrays of test-and-set objects.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -29,6 +30,12 @@ use crate::{AtomicTas, Tas, TasResult};
 /// ```
 pub struct TasArray<T> {
     slots: Box<[CachePadded<T>]>,
+    /// Relaxed count of won slots, bumped on every winning TAS so
+    /// [`set_count`](Self::set_count) is O(1) instead of a linear scan
+    /// (experiments read it once per trial; long-lived workloads per
+    /// release). Relaxed suffices: the counter is statistics, not a
+    /// synchronization edge.
+    wins: CachePadded<AtomicUsize>,
 }
 
 impl<T: Tas + Default> TasArray<T> {
@@ -38,15 +45,19 @@ impl<T: Tas + Default> TasArray<T> {
             (0..len).map(|_| CachePadded::new(T::default())).collect();
         Self {
             slots: slots.into_boxed_slice(),
+            wins: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 }
 
 impl<T: Tas> TasArray<T> {
-    /// Creates an array from pre-built TAS objects.
+    /// Creates an array from pre-built TAS objects (which may already be
+    /// set; the win counter accounts for them).
     pub fn from_slots(slots: Vec<T>) -> Self {
+        let preset = slots.iter().filter(|s| s.is_set()).count();
         Self {
             slots: slots.into_iter().map(CachePadded::new).collect(),
+            wins: CachePadded::new(AtomicUsize::new(preset)),
         }
     }
 
@@ -67,7 +78,11 @@ impl<T: Tas> TasArray<T> {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn test_and_set(&self, index: usize) -> TasResult {
-        self.slots[index].test_and_set()
+        let result = self.slots[index].test_and_set();
+        if result.won() {
+            self.wins.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// Reads slot `index` without modifying it.
@@ -89,9 +104,13 @@ impl<T: Tas> TasArray<T> {
         &self.slots[index]
     }
 
-    /// Counts how many slots have been won so far (a linear scan).
+    /// Number of slots won so far (O(1): a relaxed counter maintained by
+    /// [`test_and_set`](Self::test_and_set) and the reset methods).
+    ///
+    /// Wins through [`slot`](Self::slot)'s direct object access bypass the
+    /// counter; use the array's own operations when the count matters.
     pub fn set_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_set()).count()
+        self.wins.load(Ordering::Relaxed)
     }
 
     /// Iterates over the indices of won slots.
@@ -111,6 +130,28 @@ impl TasArray<AtomicTas> {
     pub fn reset_all(&self) {
         for s in self.slots.iter() {
             s.reset();
+        }
+        self.wins.store(0, Ordering::Relaxed);
+    }
+
+    /// Resets one slot, keeping the win counter consistent. Returns `true`
+    /// if the slot was set (and is now released), `false` if it was
+    /// already unset.
+    ///
+    /// The caller must own the slot (e.g. hold its name): releasing a slot
+    /// another thread is racing on breaks TAS semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn reset_slot(&self, index: usize) -> bool {
+        let slot = &self.slots[index];
+        if slot.is_set() {
+            slot.reset();
+            self.wins.fetch_sub(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 }

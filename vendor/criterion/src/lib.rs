@@ -1,0 +1,204 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! Provides the harness surface the workspace benches use (`Criterion`,
+//! benchmark groups, `BenchmarkId`, `b.iter`, the `criterion_group!` /
+//! `criterion_main!` macros) with a simple time-per-iteration measurement
+//! loop instead of criterion's full statistical machinery. Good enough to
+//! compare orders of magnitude offline; not a statistics suite.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Self {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target,
+        }
+    }
+
+    /// Times repeated calls of `f` until the measurement target is hit.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call (also primes lazy state).
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.target || iters >= 1_000_000 {
+                self.iters_done = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters_done == 0 {
+        println!("bench {name:<50} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    println!(
+        "bench {name:<50} {per_iter:>14.1} ns/iter ({} iters)",
+        b.iters_done
+    );
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Short target: keep offline `cargo bench` runs quick.
+            target: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.target);
+        f(&mut b);
+        report(&id.name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the simplified loop ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the simplified loop ignores it.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.target);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.name), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.target);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

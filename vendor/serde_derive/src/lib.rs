@@ -1,0 +1,375 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` available
+//! offline). Supports the shapes this workspace uses:
+//!
+//! * named-field structs,
+//! * tuple structs (single-field structs serialize transparently, like
+//!   serde newtypes; larger tuples serialize as arrays),
+//! * enums with unit, named-field and tuple variants (externally tagged,
+//!   matching serde's default representation).
+//!
+//! Generics are not supported — no derived type in this workspace is
+//! generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attribute pairs (`#` + bracket group) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+                _ => return i,
+            },
+            _ => return i,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+    // Reject generics explicitly rather than mis-deriving.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) on generic types is not supported offline");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Splits a token list on top-level commas, tracking angle-bracket depth so
+/// commas inside `Map<K, V>`-style generics don't split fields.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut i = skip_attrs(&chunk, 0);
+            i = skip_vis(&chunk, i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|chunk| {
+            let i = skip_attrs(&chunk, 0);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let shape = match chunk.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Some(Variant { name, shape })
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{pairs}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(vec![{pairs}]))]),"
+                            )
+                        }
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let bind_list = binds.join(", ");
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({bind_list}) => ::serde::Value::Object(vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::expect_field(pairs, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let pairs = ::serde::expect_object(v, \"{name}\")?;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => Ok({name}({inits})),\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"expected {n}-element array for {name}, got {{other}}\"))),\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("::serde::Value::String(s) if s == \"{vn}\" => Ok({name}::{vn}),")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::expect_field(fields, \"{f}\", \
+                                         \"{name}::{vn}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let fields = ::serde::expect_object(inner, \"{name}::{vn}\")?;\n\
+                                 Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}"
+                            ))
+                        }
+                        VariantShape::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                 Ok({name}::{vn}({inits})),\n\
+                                 other => Err(::serde::Error::msg(format!(\
+                                 \"bad payload for {name}::{vn}: {{other}}\"))),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 {unit_arms}\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"expected {name}, got {{other}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,357 @@
+//! Vendored, API-compatible subset of `serde_json`, sharing the vendored
+//! `serde`'s [`Value`] data model: [`to_string`], [`from_str`], the
+//! [`json!`] macro, and an [`Error`] type that converts into
+//! `std::io::Error`.
+
+pub use serde::{Number, Value};
+
+use std::fmt;
+
+/// A serialization or parse error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.0)
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// The vendored data model is total, so this currently never fails; the
+/// `Result` mirrors upstream's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Converts `value` into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses a JSON string into a `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Deserializes a `T` out of a [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] on a shape mismatch.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(&v).map_err(Error::from)
+}
+
+fn parse_value_complete(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit.as_bytes() {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::msg(format!("expected `{lit}` at byte {}", *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::msg(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::msg("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::msg("bad \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(Error::msg(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("nonempty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error::msg("bad number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::msg(format!("expected number at byte {start}")));
+    }
+    if !is_float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(v) = stripped.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(-v)));
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::PosInt(v)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| Value::Number(Number::Float(v)))
+        .map_err(|_| Error::msg(format!("malformed number `{text}`")))
+}
+
+/// Converts a `Serialize` value (derive-macro-internal plumbing for
+/// [`json!`]).
+#[doc(hidden)]
+pub fn value_of<T: serde::Serialize>(v: T) -> Value {
+    v.to_value()
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Keys must be string
+/// literals; values may be any `Serialize` expression, `null`, a nested
+/// `{...}` object literal, or a `[...]` array literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => { $crate::json_object!(() $($body)*) };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::value_of($item) ),* ])
+    };
+    ($other:expr) => { $crate::value_of($other) };
+}
+
+/// Internal tt-muncher for [`json!`] object bodies: accumulates finished
+/// `(key, value)` pairs in the leading parenthesized group, peeling one
+/// `key: value` entry per step so values may be full expressions or nested
+/// literals.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Terminal states.
+    (($($out:tt)*)) => { $crate::Value::Object(vec![$($out)*]) };
+    (($($out:tt)*) ,) => { $crate::Value::Object(vec![$($out)*]) };
+    // Nested object literal value.
+    (($($out:tt)*) $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(($($out)* ($key.to_string(), $crate::json!({ $($inner)* })),) $($rest)*)
+    };
+    (($($out:tt)*) $key:literal : { $($inner:tt)* }) => {
+        $crate::json_object!(($($out)* ($key.to_string(), $crate::json!({ $($inner)* })),))
+    };
+    // Nested array literal value.
+    (($($out:tt)*) $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!(($($out)* ($key.to_string(), $crate::json!([ $($inner)* ])),) $($rest)*)
+    };
+    (($($out:tt)*) $key:literal : [ $($inner:tt)* ]) => {
+        $crate::json_object!(($($out)* ($key.to_string(), $crate::json!([ $($inner)* ])),))
+    };
+    // `null` value.
+    (($($out:tt)*) $key:literal : null , $($rest:tt)*) => {
+        $crate::json_object!(($($out)* ($key.to_string(), $crate::Value::Null),) $($rest)*)
+    };
+    (($($out:tt)*) $key:literal : null) => {
+        $crate::json_object!(($($out)* ($key.to_string(), $crate::Value::Null),))
+    };
+    // General expression value.
+    (($($out:tt)*) $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_object!(($($out)* ($key.to_string(), $crate::value_of($value)),) $($rest)*)
+    };
+    (($($out:tt)*) $key:literal : $value:expr) => {
+        $crate::json_object!(($($out)* ($key.to_string(), $crate::value_of($value)),))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for text in ["null", "true", "false", "42", "-7", "4.5", "\"hi\\nthere\""] {
+            let v: Value = from_str(text).expect("parse");
+            let back = to_string(&v).expect("serialize");
+            let v2: Value = from_str(&back).expect("reparse");
+            assert_eq!(v, v2, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_integers_floats_stay_floats() {
+        let v: Value = from_str("3").unwrap();
+        assert_eq!(v, Value::Number(Number::PosInt(3)));
+        let v: Value = from_str("3.0").unwrap();
+        assert_eq!(v, Value::Number(Number::Float(3.0)));
+        assert_eq!(to_string(&v).unwrap(), "3.0");
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"n": 8, "label": "x", "nested": {"k": 1}, "arr": [1, 2]});
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(8));
+        assert_eq!(v.get("label").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            v.get("nested").and_then(|n| n.get("k")).and_then(Value::as_u64),
+            Some(1)
+        );
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).expect("reparse");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn object_roundtrip_preserves_order_and_kind() {
+        let text = "{\"a\":1,\"b\":2.5,\"c\":[true,null]}";
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{not json").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
