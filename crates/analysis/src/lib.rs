@@ -26,5 +26,5 @@ mod table;
 
 pub use fit::LinearFit;
 pub use record::ExperimentRecord;
-pub use stats::Summary;
+pub use stats::{lerp_quantile, Summary};
 pub use table::Table;

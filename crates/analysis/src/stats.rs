@@ -93,21 +93,44 @@ impl Summary {
         *self.sorted.last().expect("nonempty")
     }
 
-    /// The `q`-quantile by nearest-rank interpolation, `q` in `[0, 1]`.
+    /// The `q`-quantile by linear interpolation between adjacent order
+    /// statistics (see [`lerp_quantile`]), `q` in `[0, 1]`.
+    ///
+    /// The previous nearest-rank `.round()` rule biased medians and tail
+    /// percentiles upward (the median of `[1.0, 2.0]` came out as `2.0`);
+    /// interpolation makes `quantile(0.5)` the textbook median and keeps
+    /// p90/p99 on small samples between the surrounding observations.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
-        self.sorted[idx]
+        lerp_quantile(&self.sorted, q)
     }
 
     /// Median (`quantile(0.5)`).
     pub fn median(&self) -> f64 {
         self.quantile(0.5)
     }
+}
+
+/// The `q`-quantile of an ascending-sorted sample by linear
+/// interpolation between adjacent order statistics (the R-7 / NumPy
+/// `linear` definition). The single definition every quantile in the
+/// workspace goes through, so the experiment statistics cannot drift
+/// between crates.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn lerp_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let pos = (sorted.len() - 1) as f64 * q;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 impl fmt::Display for Summary {
@@ -144,9 +167,45 @@ mod tests {
         let s = Summary::from_counts(1..=100u64);
         assert_eq!(s.quantile(0.0), 1.0);
         assert_eq!(s.quantile(1.0), 100.0);
-        // Nearest-rank with round-half-up picks the upper middle element.
-        assert_eq!(s.median(), 51.0);
-        assert_eq!(s.quantile(0.99), 99.0);
+        assert_eq!(s.median(), 50.5);
+        assert!((s.quantile(0.99) - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_sized_median_interpolates() {
+        // Regression: nearest-rank `.round()` reported 2.0 here.
+        let s = Summary::from_values([1.0, 2.0]);
+        assert_eq!(s.median(), 1.5);
+        let s = Summary::from_values([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median(), 2.5);
+        // Odd-sized samples still return the middle element exactly.
+        let s = Summary::from_values([1.0, 2.0, 3.0]);
+        assert_eq!(s.median(), 2.0);
+    }
+
+    #[test]
+    fn tail_quantiles_on_small_samples() {
+        // 5 points: p90 sits 0.6 of the way from the 4th to the 5th order
+        // statistic, p99 almost at the maximum — the old rule snapped both
+        // straight to the max.
+        let s = Summary::from_values([10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert!((s.quantile(0.9) - 46.0).abs() < 1e-9);
+        assert!((s.quantile(0.99) - 49.6).abs() < 1e-9);
+        assert!(s.quantile(0.99) < s.max());
+        // 10 points 0..=9: p90 = 8.1, between the 9th and 10th.
+        let s = Summary::from_counts(0..10u64);
+        assert!((s.quantile(0.9) - 8.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_endpoints_are_exact_extremes() {
+        let s = Summary::from_values([3.0, 1.0, 4.0, 1.0, 5.0]);
+        assert_eq!(s.quantile(0.0), s.min());
+        assert_eq!(s.quantile(1.0), s.max());
+        let single = Summary::from_values([7.0]);
+        assert_eq!(single.quantile(0.0), 7.0);
+        assert_eq!(single.quantile(1.0), 7.0);
+        assert_eq!(single.quantile(0.5), 7.0);
     }
 
     #[test]

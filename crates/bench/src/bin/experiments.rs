@@ -4,8 +4,13 @@
 //! experiments all                  # run everything (full sweeps)
 //! experiments e1 e7 --quick        # selected experiments, CI-sized
 //! experiments all --out results.jsonl --seed 7
+//! experiments all --threads 8      # parallel trials on 8 cores
 //! experiments --list
 //! ```
+//!
+//! Trials run in parallel across worker threads (default: all cores);
+//! reports are byte-identical at any `--threads` value because every
+//! trial's seed is derived from its index alone.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -17,6 +22,7 @@ struct Args {
     quick: bool,
     list: bool,
     seed: u64,
+    threads: Option<usize>,
     out: Option<String>,
 }
 
@@ -26,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         list: false,
         seed: 42,
+        threads: None,
         out: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -36,6 +43,14 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                let threads: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(threads);
             }
             "--out" => {
                 args.out = Some(iter.next().ok_or("--out needs a path")?);
@@ -59,8 +74,13 @@ fn main() -> ExitCode {
     };
     let catalog = experiments::catalog();
     if args.list || args.ids.is_empty() {
-        println!("usage: experiments <id>... [--quick] [--seed N] [--out FILE]");
+        println!("usage: experiments <id>... [--quick] [--seed N] [--threads N] [--out FILE]");
         println!("       experiments all [--quick]\n");
+        println!("  --quick      CI-sized sweeps and trial counts");
+        println!("  --seed N     base RNG seed (default 42)");
+        println!("  --threads N  worker threads for parallel trials (default: all cores;");
+        println!("               reports are byte-identical at any thread count)");
+        println!("  --out FILE   write JSON-lines records\n");
         println!("available experiments:");
         for info in &catalog {
             println!("  {:<4} {}", info.id, info.claim);
@@ -80,7 +100,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut harness = Harness::new(args.quick, args.seed);
+    let mut harness = match args.threads {
+        Some(threads) => Harness::with_threads(args.quick, args.seed, threads),
+        None => Harness::new(args.quick, args.seed),
+    };
     let mut failures = 0usize;
     for id in &ids {
         let started = std::time::Instant::now();

@@ -6,14 +6,13 @@ use std::sync::Arc;
 use serde_json::json;
 
 use renaming_analysis::{Summary, Table};
-use renaming_baselines::SingleBatchMachine;
-use renaming_core::{BatchLayout, Epsilon, ProbeSchedule, RebatchingMachine};
-use renaming_sim::adversary::UniformRandom;
-use renaming_sim::Renamer;
+use renaming_core::{BatchLayout, Epsilon, ProbeSchedule};
+use renaming_sim::ExecutionReport;
 
 use crate::experiments::{header, verdict};
-use crate::harness::run_execution;
+use crate::sweep::{AdversaryKind, TrialSpec};
 use crate::Harness;
+use crate::MachineKind;
 
 /// A1 — the geometric batch layout vs the same probe budget without it.
 pub fn a1_geometry(h: &mut Harness) -> String {
@@ -38,25 +37,37 @@ pub fn a1_geometry(h: &mut Harness) -> String {
         let m = layout.namespace_size();
         let budget = layout.max_probes();
         let trials = h.trials_for(n);
-        let mut reb_max = Vec::new();
-        let mut reb_backup = 0usize;
-        let mut sb_max = Vec::new();
-        let mut sb_backup = 0usize;
-        for t in 0..trials {
-            let seed = h.seed() ^ ((n as u64) << 16) ^ t as u64;
-            let r = run_execution(m, n, Box::new(UniformRandom::new()), seed, || {
-                Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
+        let reb_kind = MachineKind::Rebatching {
+            layout: Arc::clone(&layout),
+            base: 0,
+        };
+        let sb_kind = MachineKind::SingleBatch {
+            namespace: m,
+            budget,
+        };
+        let reports: Vec<(ExecutionReport, ExecutionReport)> =
+            h.sweep().trials(trials, |t, worker| {
+                let seed = h.seed() ^ ((n as u64) << 16) ^ t as u64;
+                let reb = worker.run(&TrialSpec::new(
+                    m,
+                    n,
+                    &reb_kind,
+                    AdversaryKind::UniformRandom,
+                    seed,
+                ));
+                let sb = worker.run(&TrialSpec::new(
+                    m,
+                    n,
+                    &sb_kind,
+                    AdversaryKind::UniformRandom,
+                    seed,
+                ));
+                (reb, sb)
             });
-            reb_max.push(r.max_steps());
-            reb_backup += r.backup_entries();
-            let r = run_execution(m, n, Box::new(UniformRandom::new()), seed, || {
-                Box::new(SingleBatchMachine::new(m, budget)) as Box<dyn Renamer>
-            });
-            sb_max.push(r.max_steps());
-            sb_backup += r.backup_entries();
-        }
-        let reb = Summary::from_counts(reb_max);
-        let sb = Summary::from_counts(sb_max);
+        let reb_backup: usize = reports.iter().map(|(r, _)| r.backup_entries()).sum();
+        let sb_backup: usize = reports.iter().map(|(_, s)| s.backup_entries()).sum();
+        let reb = Summary::from_counts(reports.iter().map(|(r, _)| r.max_steps()));
+        let sb = Summary::from_counts(reports.iter().map(|(_, s)| s.max_steps()));
         // The geometry guarantees the budget; the flat variant may fall
         // into its (expensive, sequential) backup scan.
         pass &= reb_backup == 0 && reb.max() <= budget as f64;
@@ -103,32 +114,37 @@ pub fn a2_t0(h: &mut Harness) -> String {
     for &t0 in &[1usize, 2, 4, 8, paper_t0] {
         let schedule = ProbeSchedule::tuned(Epsilon::one(), 3, t0).expect("schedule");
         let layout = BatchLayout::shared(n, schedule).expect("layout");
+        let kind = MachineKind::Rebatching {
+            layout: Arc::clone(&layout),
+            base: 0,
+        };
         let m = layout.namespace_size();
         let trials = h.trials_for(n);
-        let mut maxes = Vec::new();
-        let mut p99s = Vec::new();
-        let mut means = Vec::new();
-        let mut deep = 0usize;
-        let mut backups = 0usize;
-        for t in 0..trials {
-            let r = run_execution(
+        let reports = h.sweep().trials(trials, |t, worker| {
+            worker.run(&TrialSpec::new(
                 m,
                 n,
-                Box::new(UniformRandom::new()),
+                &kind,
+                AdversaryKind::UniformRandom,
                 h.seed() ^ ((t0 as u64) << 13) ^ t as u64,
-                || Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>,
-            );
-            maxes.push(r.max_steps());
-            p99s.push(r.steps_quantile(0.99));
-            means.push(r.mean_steps());
-            deep += r.survivors_at_batch(1);
-            backups += r.backup_entries();
-        }
+            ))
+        });
+        let deep: usize = reports.iter().map(|r| r.survivors_at_batch(1)).sum();
+        let backups: usize = reports.iter().map(|r| r.backup_entries()).sum();
         table.row([
             t0.to_string(),
-            format!("{:.0}", Summary::from_counts(maxes).max()),
-            format!("{:.0}", Summary::from_counts(p99s).max()),
-            format!("{:.2}", Summary::from_values(means).mean()),
+            format!(
+                "{:.0}",
+                Summary::from_counts(reports.iter().map(|r| r.max_steps())).max()
+            ),
+            format!(
+                "{:.1}",
+                Summary::from_values(reports.iter().map(|r| r.steps_quantile(0.99))).max()
+            ),
+            format!(
+                "{:.2}",
+                Summary::from_values(reports.iter().map(|r| r.mean_steps())).mean()
+            ),
             deep.to_string(),
             backups.to_string(),
         ]);

@@ -6,12 +6,12 @@ use std::sync::Arc;
 use serde_json::json;
 
 use renaming_analysis::{axis, LinearFit, Summary, Table};
-use renaming_core::{AdaptiveMachine, FastAdaptiveMachine};
-use renaming_sim::adversary::UniformRandom;
 
 use crate::experiments::{header, verdict};
-use crate::harness::{adaptive_layout, run_execution};
+use crate::harness::adaptive_layout;
+use crate::sweep::{AdversaryKind, TrialSpec};
 use crate::Harness;
+use crate::MachineKind;
 
 /// Name-value slack: Theorem 5.1/5.2 promise `O(k)`; with `eps = 1` the
 /// §5.1 constant is `4(1+eps)k = 8k`, plus a small additive offset from
@@ -28,23 +28,24 @@ pub fn e5_adaptive_steps(h: &mut Harness) -> String {
     );
     let capacity = if h.quick() { 1 << 10 } else { 1 << 14 };
     let layout = adaptive_layout(capacity);
+    let kind = MachineKind::Adaptive {
+        layout: Arc::clone(&layout),
+    };
     let mut table = Table::new(["k", "max steps", "mean steps", "max name", "name/k"]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     let mut names_ok = true;
     for k in h.k_sweep() {
         let trials = h.trials_for(k);
-        let reports: Vec<_> = (0..trials)
-            .map(|t| {
-                run_execution(
-                    layout.total_size(),
-                    k,
-                    Box::new(UniformRandom::new()),
-                    h.seed() ^ ((k as u64) << 24) ^ t as u64,
-                    || Box::new(AdaptiveMachine::new(Arc::clone(&layout))),
-                )
-            })
-            .collect();
+        let reports = h.sweep().trials(trials, |t, worker| {
+            worker.run(&TrialSpec::new(
+                layout.total_size(),
+                k,
+                &kind,
+                AdversaryKind::UniformRandom,
+                h.seed() ^ ((k as u64) << 24) ^ t as u64,
+            ))
+        });
         let maxes = Summary::from_counts(reports.iter().map(|r| r.max_steps()));
         let means = Summary::from_values(reports.iter().map(|r| r.mean_steps()));
         let max_name = reports
@@ -102,22 +103,23 @@ pub fn e6_fast_adaptive(h: &mut Harness) -> String {
     );
     let capacity = if h.quick() { 1 << 10 } else { 1 << 14 };
     let layout = adaptive_layout(capacity);
+    let kind = MachineKind::FastAdaptive {
+        layout: Arc::clone(&layout),
+    };
     let mut table = Table::new(["k", "total steps", "total/(k loglog k)", "max name", "name/k"]);
     let mut ratios = Vec::new();
     let mut names_ok = true;
     for k in h.k_sweep() {
         let trials = h.trials_for(k);
-        let reports: Vec<_> = (0..trials)
-            .map(|t| {
-                run_execution(
-                    layout.total_size(),
-                    k,
-                    Box::new(UniformRandom::new()),
-                    h.seed() ^ ((k as u64) << 24) ^ (t as u64) << 1,
-                    || Box::new(FastAdaptiveMachine::new(Arc::clone(&layout))),
-                )
-            })
-            .collect();
+        let reports = h.sweep().trials(trials, |t, worker| {
+            worker.run(&TrialSpec::new(
+                layout.total_size(),
+                k,
+                &kind,
+                AdversaryKind::UniformRandom,
+                h.seed() ^ ((k as u64) << 24) ^ (t as u64) << 1,
+            ))
+        });
         let totals = Summary::from_counts(reports.iter().map(|r| r.total_steps));
         let denom = axis::n_log2_log2(k.max(2));
         let ratio = totals.mean() / denom;

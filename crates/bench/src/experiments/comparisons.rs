@@ -6,16 +6,23 @@ use std::sync::Arc;
 use serde_json::json;
 
 use renaming_analysis::{axis, LinearFit, Summary, Table};
-use renaming_baselines::{LinearScanMachine, UniformMachine};
-use renaming_core::{Epsilon, ProbeSchedule, RebatchingMachine};
-use renaming_sim::adversary::{
-    all_strategies, LayeredPermutation, RoundRobin,
-};
-use renaming_sim::Renamer;
+use renaming_core::{Epsilon, ProbeSchedule};
+use renaming_sim::ExecutionReport;
 
 use crate::experiments::{header, verdict};
-use crate::harness::{paper_layout, run_execution};
+use crate::harness::paper_layout;
+use crate::sweep::{AdversaryKind, SweepWorker, TrialSpec};
 use crate::Harness;
+use crate::MachineKind;
+
+/// One E10 trial: the same seed run through every contender.
+struct CrossoverTrial {
+    paper: ExecutionReport,
+    tuned: ExecutionReport,
+    uniform: ExecutionReport,
+    /// Skipped for large `n` (linear scan is `Θ(n²)` total work).
+    linear: Option<ExecutionReport>,
+}
 
 /// E10 — uniform probing grows like log n; ReBatching stays flat.
 pub fn e10_crossover(h: &mut Harness) -> String {
@@ -41,50 +48,57 @@ pub fn e10_crossover(h: &mut Harness) -> String {
         let m = layout.namespace_size();
         let tuned_layout =
             renaming_core::BatchLayout::shared(n, tuned).expect("tuned layout");
-        let mut paper_max = Vec::new();
-        let mut tuned_max = Vec::new();
-        let mut uni_max = Vec::new();
-        let mut uni_mean = Vec::new();
-        let mut lin_max = Vec::new();
-        for t in 0..trials {
+        let paper_kind = MachineKind::Rebatching {
+            layout: Arc::clone(&layout),
+            base: 0,
+        };
+        let tuned_kind = MachineKind::Rebatching {
+            layout: Arc::clone(&tuned_layout),
+            base: 0,
+        };
+        let uniform_kind = MachineKind::Uniform { namespace: m };
+        let linear_kind = MachineKind::LinearScan;
+        let reports = h.sweep().trials(trials, |t, worker| {
             let seed = h.seed() ^ ((n as u64) << 18) ^ t as u64;
-            let r = run_execution(m, n, Box::new(RoundRobin::new()), seed, || {
-                Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
-            });
-            paper_max.push(r.max_steps());
-            let r = run_execution(
-                tuned_layout.namespace_size(),
-                n,
-                Box::new(RoundRobin::new()),
-                seed,
-                || Box::new(RebatchingMachine::new(Arc::clone(&tuned_layout), 0)) as Box<dyn Renamer>,
-            );
-            tuned_max.push(r.max_steps());
-            let r = run_execution(m, n, Box::new(RoundRobin::new()), seed, || {
-                Box::new(UniformMachine::new(m)) as Box<dyn Renamer>
-            });
-            uni_max.push(r.max_steps());
-            uni_mean.push(r.mean_steps());
-            // Linear scan is Theta(n) per process (Theta(n^2) total work):
-            // cap its sweep so it fits the runner's livelock budget.
-            if n <= 1 << 11 {
-                let r = run_execution(n, n, Box::new(RoundRobin::new()), seed, || {
-                    Box::new(LinearScanMachine::new()) as Box<dyn Renamer>
-                });
-                lin_max.push(r.max_steps());
+            let run = |worker: &mut SweepWorker, memory: usize, kind: &MachineKind| {
+                worker.run(&TrialSpec::new(
+                    memory,
+                    n,
+                    kind,
+                    AdversaryKind::RoundRobin,
+                    seed,
+                ))
+            };
+            CrossoverTrial {
+                paper: run(worker, m, &paper_kind),
+                tuned: run(worker, tuned_layout.namespace_size(), &tuned_kind),
+                uniform: run(worker, m, &uniform_kind),
+                // Linear scan is Theta(n) per process (Theta(n^2) total
+                // work): cap its sweep so it fits the livelock budget.
+                linear: (n <= 1 << 11).then(|| run(worker, n, &linear_kind)),
             }
-        }
-        let uni = Summary::from_counts(uni_max.iter().copied());
-        let tun = Summary::from_counts(tuned_max.iter().copied());
+        });
+        let uni = Summary::from_counts(reports.iter().map(|r| r.uniform.max_steps()));
+        let tun = Summary::from_counts(reports.iter().map(|r| r.tuned.max_steps()));
+        let lin_max: Vec<u64> = reports
+            .iter()
+            .filter_map(|r| r.linear.as_ref().map(ExecutionReport::max_steps))
+            .collect();
         uniform_maxes.push(uni.mean());
         rebatch_tuned_maxes.push(tun.mean());
         log_axis.push(axis::log2(n));
         table.row([
             n.to_string(),
-            format!("{:.0}", Summary::from_counts(paper_max).max()),
+            format!(
+                "{:.0}",
+                Summary::from_counts(reports.iter().map(|r| r.paper.max_steps())).max()
+            ),
             format!("{:.0}", tun.max()),
             format!("{:.0}", uni.max()),
-            format!("{:.2}", Summary::from_values(uni_mean).mean()),
+            format!(
+                "{:.2}",
+                Summary::from_values(reports.iter().map(|r| r.uniform.mean_steps())).mean()
+            ),
             if lin_max.is_empty() {
                 "-".to_string()
             } else {
@@ -136,43 +150,47 @@ pub fn e11_adversaries(h: &mut Harness) -> String {
     let mut out = header("e11", "ReBatching under every adversary class (S2)");
     let n = if h.quick() { 1 << 9 } else { 1 << 12 };
     let layout = paper_layout(n);
+    let kind = MachineKind::Rebatching {
+        layout: Arc::clone(&layout),
+        base: 0,
+    };
     let m = layout.namespace_size();
     let budget = layout.max_probes() as u64;
     let mut table = Table::new(["adversary", "max steps", "mean steps", "layers", "backup"]);
     let mut pass = true;
-    let labels: Vec<String> = all_strategies().iter().map(|a| a.label().to_string()).collect();
-    for label in labels {
+    for adversary in AdversaryKind::all() {
         let trials = h.trials_for(n).max(5);
-        let mut maxes = Vec::new();
-        let mut means = Vec::new();
+        let reports = h.sweep().trials(trials, |t, worker| {
+            worker.run(&TrialSpec::new(
+                m,
+                n,
+                &kind,
+                adversary,
+                h.seed() ^ (t as u64) << 7,
+            ))
+        });
         let mut layers = None;
         let mut backups = 0usize;
-        for t in 0..trials {
-            let adversary: Box<dyn renaming_sim::adversary::Adversary> = all_strategies()
-                .into_iter()
-                .find(|a| a.label() == label)
-                .expect("known label");
-            let r = run_execution(m, n, adversary, h.seed() ^ (t as u64) << 7, || {
-                Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
-            });
+        for r in &reports {
             pass &= r.named_count() == n;
             backups += r.backup_entries();
             pass &= r.backup_entries() > 0 || r.max_steps() <= budget;
-            maxes.push(r.max_steps());
-            means.push(r.mean_steps());
             layers = r.layers.or(layers);
         }
-        let maxes = Summary::from_counts(maxes);
+        let maxes = Summary::from_counts(reports.iter().map(|r| r.max_steps()));
         table.row([
-            label.clone(),
+            adversary.label().to_string(),
             format!("{:.0}", maxes.max()),
-            format!("{:.2}", Summary::from_values(means).mean()),
+            format!(
+                "{:.2}",
+                Summary::from_values(reports.iter().map(|r| r.mean_steps())).mean()
+            ),
             layers.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
             backups.to_string(),
         ]);
         h.record(
             "e11",
-            json!({"n": n, "adversary": label}),
+            json!({"n": n, "adversary": adversary.label()}),
             json!({"max_steps": maxes.max(), "backups": backups}),
         );
     }
@@ -190,15 +208,21 @@ pub fn e11_adversaries(h: &mut Harness) -> String {
 pub fn layers_to_completion(n: usize, seed: u64, uniform: bool) -> u64 {
     let layout = paper_layout(n);
     let m = layout.namespace_size();
-    let report = if uniform {
-        run_execution(m, n, Box::new(LayeredPermutation::new()), seed, || {
-            Box::new(UniformMachine::new(m)) as Box<dyn Renamer>
-        })
+    let kind = if uniform {
+        MachineKind::Uniform { namespace: m }
     } else {
-        run_execution(m, n, Box::new(LayeredPermutation::new()), seed, || {
-            Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
-        })
+        MachineKind::Rebatching {
+            layout: Arc::clone(&layout),
+            base: 0,
+        }
     };
+    let report = SweepWorker::new().run(&TrialSpec::new(
+        m,
+        n,
+        &kind,
+        AdversaryKind::LayeredPermutation,
+        seed,
+    ));
     report.layers.unwrap_or(0)
 }
 

@@ -32,11 +32,16 @@ pub fn e7_layers(h: &mut Harness) -> String {
     } else {
         vec![8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 56]
     };
-    for e in &exps {
+    // The recurrence is independent per exponent: fan it out.
+    let recurrences = h.sweep().map(exps.len(), |i| {
+        let e = exps[i];
         let n = 1u64 << e;
         let s = 2 * n as usize;
         let layers = uniform_extinction_layers(n as f64 / 2.0, s, 4.0, 128);
         let predicted = predicted_layers(n as f64 / 2.0, s);
+        (layers, predicted)
+    });
+    for (e, (layers, predicted)) in exps.iter().zip(&recurrences) {
         table.row([
             format!("2^{e}"),
             layers.to_string(),
@@ -44,7 +49,7 @@ pub fn e7_layers(h: &mut Harness) -> String {
             format!("{:.2}", (*e as f64).log2()),
         ]);
         xs.push((*e as f64).log2()); // lg lg n for n = 2^e
-        ys.push(layers as f64);
+        ys.push(*layers as f64);
         h.record(
             "e7",
             json!({"part": "recurrence", "n_exp": e}),
@@ -123,16 +128,20 @@ pub fn e8_lemma_6_5(h: &mut Harness) -> String {
     let max_n = if h.quick() { 128 } else { 1024 };
     let mut table = Table::new(["lambda", "gamma", "worst margin over n"]);
     let mut worst = f64::INFINITY;
-    for &l in &lambdas {
-        let c = CoupledPoisson::new(l);
+    // Each lambda's margin scan is independent: fan them out.
+    let margins = h.sweep().map(lambdas.len(), |i| {
+        let c = CoupledPoisson::new(lambdas[i]);
         let mut margin = f64::INFINITY;
         for n in 0..=max_n {
             margin = margin.min(c.lemma_6_5_margin(n));
         }
+        (c.gamma(), margin)
+    });
+    for (&l, &(gamma, margin)) in lambdas.iter().zip(&margins) {
         worst = worst.min(margin);
         table.row([
             format!("{l}"),
-            format!("{:.4}", c.gamma()),
+            format!("{gamma:.4}"),
             format!("{margin:.3e}"),
         ]);
         h.record("e8", json!({"lambda": l, "max_n": max_n}), json!({"margin": margin}));

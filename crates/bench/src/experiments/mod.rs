@@ -21,32 +21,36 @@ use crate::Harness;
 /// Static description of one experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentInfo {
-    /// Registry id (`e1` .. `e14`, `a1`, `a2`).
+    /// Registry id: the paper claims `e1` .. `e14`, the ablations `a1`
+    /// and `a2`, plus the engine-tooling `throughput` entry.
     pub id: &'static str,
     /// The paper claim being reproduced.
     pub claim: &'static str,
+    /// The experiment body. [`run`] dispatches through this pointer, so
+    /// the catalog and the dispatcher cannot drift apart.
+    pub runner: fn(&mut Harness) -> String,
 }
 
 /// All registered experiments, in presentation order.
 pub fn catalog() -> Vec<ExperimentInfo> {
     vec![
-        ExperimentInfo { id: "e1", claim: "Thm 4.1: ReBatching step complexity <= log log n + O(1) w.h.p." },
-        ExperimentInfo { id: "e2", claim: "Thm 4.1: ReBatching total step complexity O(n)" },
-        ExperimentInfo { id: "e3", claim: "Lemma 4.2: batch survivors n_i <= n*_i" },
-        ExperimentInfo { id: "e4", claim: "S4: the backup phase runs with very low probability" },
-        ExperimentInfo { id: "e5", claim: "Thm 5.1: adaptive steps O((log log k)^2), names O(k) w.h.p." },
-        ExperimentInfo { id: "e6", claim: "Thm 5.2: fast adaptive total steps O(k log log k), names O(k) w.h.p." },
-        ExperimentInfo { id: "e7", claim: "Thm 6.1: survivors persist Omega(log log n) layers" },
-        ExperimentInfo { id: "e8", claim: "Lemma 6.5: P_lambda(n+1) <= P_gamma(n)" },
-        ExperimentInfo { id: "e9", claim: "Lemma 6.6: per-layer rate decay bound" },
-        ExperimentInfo { id: "e10", claim: "S4 intro: uniform probing needs Theta(log n); ReBatching stays flat" },
-        ExperimentInfo { id: "e11", claim: "S2: the algorithms work against strong adversaries" },
-        ExperimentInfo { id: "e12", claim: "S2 model: any number of crash failures is tolerated" },
-        ExperimentInfo { id: "e13", claim: "S4: namespace (1+eps)n for any fixed eps > 0" },
-        ExperimentInfo { id: "e14", claim: "S2 remark: register-based TAS costs a log factor per operation" },
-        ExperimentInfo { id: "a1", claim: "Ablation: geometric batches vs same budget without geometry" },
-        ExperimentInfo { id: "a2", claim: "Ablation: the t0 = 17 ln(8e/eps)/eps constant" },
-        ExperimentInfo { id: "throughput", claim: "Engine: monomorphic fast path >= 5x the seed engine's steps/sec (tooling)" },
+        ExperimentInfo { id: "e1", claim: "Thm 4.1: ReBatching step complexity <= log log n + O(1) w.h.p.", runner: non_adaptive::e1_step_complexity },
+        ExperimentInfo { id: "e2", claim: "Thm 4.1: ReBatching total step complexity O(n)", runner: non_adaptive::e2_total_steps },
+        ExperimentInfo { id: "e3", claim: "Lemma 4.2: batch survivors n_i <= n*_i", runner: non_adaptive::e3_batch_survivors },
+        ExperimentInfo { id: "e4", claim: "S4: the backup phase runs with very low probability", runner: non_adaptive::e4_backup_rate },
+        ExperimentInfo { id: "e5", claim: "Thm 5.1: adaptive steps O((log log k)^2), names O(k) w.h.p.", runner: adaptive::e5_adaptive_steps },
+        ExperimentInfo { id: "e6", claim: "Thm 5.2: fast adaptive total steps O(k log log k), names O(k) w.h.p.", runner: adaptive::e6_fast_adaptive },
+        ExperimentInfo { id: "e7", claim: "Thm 6.1: survivors persist Omega(log log n) layers", runner: lower_bound::e7_layers },
+        ExperimentInfo { id: "e8", claim: "Lemma 6.5: P_lambda(n+1) <= P_gamma(n)", runner: lower_bound::e8_lemma_6_5 },
+        ExperimentInfo { id: "e9", claim: "Lemma 6.6: per-layer rate decay bound", runner: lower_bound::e9_lemma_6_6 },
+        ExperimentInfo { id: "e10", claim: "S4 intro: uniform probing needs Theta(log n); ReBatching stays flat", runner: comparisons::e10_crossover },
+        ExperimentInfo { id: "e11", claim: "S2: the algorithms work against strong adversaries", runner: comparisons::e11_adversaries },
+        ExperimentInfo { id: "e12", claim: "S2 model: any number of crash failures is tolerated", runner: robustness::e12_crashes },
+        ExperimentInfo { id: "e13", claim: "S4: namespace (1+eps)n for any fixed eps > 0", runner: robustness::e13_epsilon },
+        ExperimentInfo { id: "e14", claim: "S2 remark: register-based TAS costs a log factor per operation", runner: robustness::e14_rw_tas },
+        ExperimentInfo { id: "a1", claim: "Ablation: geometric batches vs same budget without geometry", runner: ablations::a1_geometry },
+        ExperimentInfo { id: "a2", claim: "Ablation: the t0 = 17 ln(8e/eps)/eps constant", runner: ablations::a2_t0 },
+        ExperimentInfo { id: "throughput", claim: "Engine: monomorphic fast path >= 5x the seed engine's steps/sec (tooling)", runner: throughput::throughput },
     ]
 }
 
@@ -57,26 +61,11 @@ pub fn catalog() -> Vec<ExperimentInfo> {
 /// Panics on an unknown id — the binary validates ids first via
 /// [`catalog`].
 pub fn run(id: &str, harness: &mut Harness) -> String {
-    match id {
-        "e1" => non_adaptive::e1_step_complexity(harness),
-        "e2" => non_adaptive::e2_total_steps(harness),
-        "e3" => non_adaptive::e3_batch_survivors(harness),
-        "e4" => non_adaptive::e4_backup_rate(harness),
-        "e5" => adaptive::e5_adaptive_steps(harness),
-        "e6" => adaptive::e6_fast_adaptive(harness),
-        "e7" => lower_bound::e7_layers(harness),
-        "e8" => lower_bound::e8_lemma_6_5(harness),
-        "e9" => lower_bound::e9_lemma_6_6(harness),
-        "e10" => comparisons::e10_crossover(harness),
-        "e11" => comparisons::e11_adversaries(harness),
-        "e12" => robustness::e12_crashes(harness),
-        "e13" => robustness::e13_epsilon(harness),
-        "e14" => robustness::e14_rw_tas(harness),
-        "a1" => ablations::a1_geometry(harness),
-        "a2" => ablations::a2_t0(harness),
-        "throughput" => throughput::throughput(harness),
-        other => panic!("unknown experiment id `{other}`"),
-    }
+    let info = catalog()
+        .into_iter()
+        .find(|info| info.id == id)
+        .unwrap_or_else(|| panic!("unknown experiment id `{id}`"));
+    (info.runner)(harness)
 }
 
 /// Formats the standard report header.
@@ -102,6 +91,24 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), before);
         assert_eq!(before, 17);
+    }
+
+    #[test]
+    fn catalog_and_run_dispatch_stay_in_sync() {
+        // `run` resolves through the catalog itself, so every id in the
+        // catalog is runnable by construction; each entry must point at a
+        // distinct body (a copy-pasted runner would silently shadow an
+        // experiment).
+        let cat = catalog();
+        for info in &cat {
+            let duplicates = cat
+                .iter()
+                .filter(|other| {
+                    std::ptr::fn_addr_eq(other.runner, info.runner)
+                })
+                .count();
+            assert_eq!(duplicates, 1, "runner for `{}` is shared", info.id);
+        }
     }
 
     #[test]

@@ -6,36 +6,39 @@ use std::sync::Arc;
 use serde_json::json;
 
 use renaming_analysis::{axis, LinearFit, Summary, Table};
-use renaming_core::RebatchingMachine;
-use renaming_sim::adversary::{Adversary, RoundRobin, UniformRandom};
 use renaming_sim::ExecutionReport;
 
 use crate::experiments::{header, verdict};
-use crate::harness::{paper_layout, run_execution};
+use crate::harness::paper_layout;
+use crate::sweep::{AdversaryKind, TrialSpec};
 use crate::Harness;
+use crate::MachineKind;
 
 /// Alternating benign adversaries for the sweep trials.
-fn sweep_adversary(trial: usize) -> Box<dyn Adversary> {
+fn sweep_adversary(trial: usize) -> AdversaryKind {
     if trial.is_multiple_of(2) {
-        Box::new(RoundRobin::new())
+        AdversaryKind::RoundRobin
     } else {
-        Box::new(UniformRandom::new())
+        AdversaryKind::UniformRandom
     }
 }
 
 fn rebatching_reports(h: &Harness, n: usize) -> Vec<ExecutionReport> {
     let layout = paper_layout(n);
-    (0..h.trials_for(n))
-        .map(|trial| {
-            run_execution(
-                layout.namespace_size(),
-                n,
-                sweep_adversary(trial),
-                h.seed() ^ ((n as u64) << 20) ^ trial as u64,
-                || Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)),
-            )
-        })
-        .collect()
+    let kind = MachineKind::Rebatching {
+        layout: Arc::clone(&layout),
+        base: 0,
+    };
+    let memory = layout.namespace_size();
+    h.sweep().trials(h.trials_for(n), |trial, worker| {
+        worker.run(&TrialSpec::new(
+            memory,
+            n,
+            &kind,
+            sweep_adversary(trial),
+            h.seed() ^ ((n as u64) << 20) ^ trial as u64,
+        ))
+    })
 }
 
 /// E1 — Theorem 4.1, individual step complexity.
@@ -53,7 +56,7 @@ pub fn e1_step_complexity(h: &mut Harness) -> String {
         let budget = layout.max_probes() as u64;
         let reports = rebatching_reports(h, n);
         let maxes = Summary::from_counts(reports.iter().map(|r| r.max_steps()));
-        let p99 = Summary::from_counts(reports.iter().map(|r| r.steps_quantile(0.99)));
+        let p99 = Summary::from_values(reports.iter().map(|r| r.steps_quantile(0.99)));
         let means = Summary::from_values(reports.iter().map(|r| r.mean_steps()));
         let backups: usize = reports.iter().map(|r| r.backup_entries()).sum();
         any_backup |= backups > 0;
@@ -65,7 +68,7 @@ pub fn e1_step_complexity(h: &mut Harness) -> String {
             layout.kappa().to_string(),
             budget.to_string(),
             format!("{:.0}", maxes.max()),
-            format!("{:.0}", p99.max()),
+            format!("{:.1}", p99.max()),
             format!("{:.2}", means.mean()),
             backups.to_string(),
         ]);

@@ -7,56 +7,55 @@ use std::sync::Arc;
 use serde_json::json;
 
 use renaming_analysis::{axis, LinearFit, Summary, Table};
-use renaming_core::{Epsilon, ProbeSchedule, RebatchingMachine};
-use renaming_sim::adversary::UniformRandom;
-use renaming_sim::{CrashPlan, Execution, Renamer};
+use renaming_core::{Epsilon, ProbeSchedule};
+use renaming_sim::CrashPlan;
 use renaming_tas::rwtas::TournamentTas;
 
 use crate::experiments::{header, verdict};
 use crate::harness::paper_layout;
+use crate::sweep::{AdversaryKind, TrialSpec};
 use crate::Harness;
+use crate::MachineKind;
 
 /// E12 — fail-stop crashes: survivors still rename correctly and fast.
 pub fn e12_crashes(h: &mut Harness) -> String {
     let mut out = header("e12", "any number of processes may crash (S2 model)");
     let n = if h.quick() { 1 << 9 } else { 1 << 12 };
     let layout = paper_layout(n);
+    let kind = MachineKind::Rebatching {
+        layout: Arc::clone(&layout),
+        base: 0,
+    };
     let m = layout.namespace_size();
     let budget = layout.max_probes() as u64;
     let mut table = Table::new(["crash fraction", "survivors named", "max steps", "unique"]);
     let mut pass = true;
     for &fraction in &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9] {
         let trials = h.trials_for(n);
-        let mut all_named = true;
-        let mut all_unique = true;
-        let mut maxes = Vec::new();
-        let mut named_counts = Vec::new();
-        for t in 0..trials {
+        let reports = h.sweep().trials(trials, |t, worker| {
             let seed = h.seed() ^ (t as u64) << 3 ^ ((fraction * 100.0) as u64) << 40;
             let plan = CrashPlan::random_fraction(n, fraction, (n as u64) * 2, seed);
-            let crashed = plan.crash_count();
-            let machines: Vec<Box<dyn Renamer>> = (0..n)
-                .map(|_| {
-                    Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
-                })
-                .collect();
-            let report = Execution::new(m)
-                .adversary(Box::new(UniformRandom::new()))
-                .crash_plan(plan)
-                .seed(seed)
-                .run(machines)
-                .expect("uniqueness must hold under crashes");
+            let planned = plan.crash_count();
+            let report = worker.run(
+                &TrialSpec::new(m, n, &kind, AdversaryKind::UniformRandom, seed)
+                    .with_crashes(plan),
+            );
+            (report, planned)
+        });
+        let mut all_named = true;
+        let mut all_unique = true;
+        let mut named_counts = Vec::new();
+        for (report, planned) in &reports {
             // Every process either crashed or finished with a name (a
             // planned crash is a no-op if the victim finished first, so
             // the actual crash count can undershoot the plan).
             all_named &= report.named_count() + report.crashed_count() == n
                 && report.stuck_count() == 0
-                && report.crashed_count() <= crashed;
+                && report.crashed_count() <= *planned;
             all_unique &= report.names_within(m).is_ok();
-            maxes.push(report.max_steps());
             named_counts.push(report.named_count() as u64);
         }
-        let maxes = Summary::from_counts(maxes);
+        let maxes = Summary::from_counts(reports.iter().map(|(r, _)| r.max_steps()));
         pass &= all_named && all_unique && maxes.max() <= budget as f64;
         table.row([
             format!("{fraction:.2}"),
@@ -89,35 +88,40 @@ pub fn e13_epsilon(h: &mut Harness) -> String {
         let epsilon = Epsilon::new(eps).expect("valid eps");
         let schedule = ProbeSchedule::paper(epsilon, 3).expect("valid schedule");
         let layout = renaming_core::BatchLayout::shared(n, schedule).expect("layout");
+        let kind = MachineKind::Rebatching {
+            layout: Arc::clone(&layout),
+            base: 0,
+        };
         let m = layout.namespace_size();
         let budget = layout.max_probes() as u64;
         let trials = h.trials_for(n);
-        let mut maxes = Vec::new();
-        let mut means = Vec::new();
+        let reports = h.sweep().trials(trials, |t, worker| {
+            worker.run(&TrialSpec::new(
+                m,
+                n,
+                &kind,
+                AdversaryKind::UniformRandom,
+                h.seed() ^ (t as u64) ^ ((eps * 1000.0) as u64) << 30,
+            ))
+        });
         let mut backups = 0usize;
-        for t in 0..trials {
-            let machines: Vec<Box<dyn Renamer>> = (0..n)
-                .map(|_| {
-                    Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)) as Box<dyn Renamer>
-                })
-                .collect();
-            let report = Execution::new(m)
-                .adversary(Box::new(UniformRandom::new()))
-                .seed(h.seed() ^ (t as u64) ^ ((eps * 1000.0) as u64) << 30)
-                .run(machines)
-                .expect("run");
+        for report in &reports {
             pass &= report.named_count() == n && report.names_within(m).is_ok();
             backups += report.backup_entries();
             pass &= report.backup_entries() > 0 || report.max_steps() <= budget;
-            maxes.push(report.max_steps());
-            means.push(report.mean_steps());
         }
         table.row([
             format!("{eps}"),
             schedule.t0().to_string(),
             format!("{:.3}", m as f64 / n as f64),
-            format!("{:.0}", Summary::from_counts(maxes).max()),
-            format!("{:.2}", Summary::from_values(means).mean()),
+            format!(
+                "{:.0}",
+                Summary::from_counts(reports.iter().map(|r| r.max_steps())).max()
+            ),
+            format!(
+                "{:.2}",
+                Summary::from_values(reports.iter().map(|r| r.mean_steps())).mean()
+            ),
             backups.to_string(),
         ]);
         h.record(

@@ -6,25 +6,37 @@ use serde_json::Value;
 
 use renaming_analysis::ExperimentRecord;
 use renaming_core::{AdaptiveLayout, BatchLayout, Epsilon, ProbeSchedule, DEFAULT_BETA};
-use renaming_sim::adversary::Adversary;
-use renaming_sim::{Execution, ExecutionReport, Renamer};
+
+use crate::sweep::Sweep;
 
 /// Shared context threaded through every experiment: sweep sizes, trial
-/// counts, the base RNG seed, and the collected JSON records.
+/// counts, the base RNG seed, the worker-thread count for parallel trial
+/// execution, and the collected JSON records.
 #[derive(Debug)]
 pub struct Harness {
     quick: bool,
     seed: u64,
+    threads: usize,
     records: Vec<ExperimentRecord>,
 }
 
 impl Harness {
-    /// Creates a harness. `quick` shrinks sweeps and trial counts to
-    /// CI-friendly sizes; the full mode is what `EXPERIMENTS.md` records.
+    /// Creates a harness running trials on every available core. `quick`
+    /// shrinks sweeps and trial counts to CI-friendly sizes; the full
+    /// mode is what `EXPERIMENTS.md` records.
     pub fn new(quick: bool, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_threads(quick, seed, threads)
+    }
+
+    /// Creates a harness with an explicit worker-thread count (the
+    /// experiments binary's `--threads` flag). Reports are identical at
+    /// any thread count; see [`Sweep::trials`].
+    pub fn with_threads(quick: bool, seed: u64, threads: usize) -> Self {
         Self {
             quick,
             seed,
+            threads: threads.max(1),
             records: Vec::new(),
         }
     }
@@ -37,6 +49,17 @@ impl Harness {
     /// The base seed; experiments derive per-trial seeds from it.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Worker threads for parallel trial execution.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A typed-sweep runner carrying this harness's seed and thread
+    /// count.
+    pub fn sweep(&self) -> Sweep {
+        Sweep::new(self.seed, self.threads)
     }
 
     /// The non-adaptive sweep sizes `n`.
@@ -109,36 +132,9 @@ pub fn adaptive_layout(capacity: usize) -> Arc<AdaptiveLayout> {
     Arc::new(AdaptiveLayout::for_capacity(capacity, paper_schedule()).expect("valid capacity"))
 }
 
-/// Runs one simulated execution of `count` machines built by `factory`
-/// over `memory` locations under `adversary`.
-///
-/// # Panics
-///
-/// Panics if the execution reports a safety violation — experiments treat
-/// that as a hard bug, never as data.
-pub fn run_execution<F>(
-    memory: usize,
-    count: usize,
-    adversary: Box<dyn Adversary>,
-    seed: u64,
-    factory: F,
-) -> ExecutionReport
-where
-    F: Fn() -> Box<dyn Renamer>,
-{
-    let machines: Vec<Box<dyn Renamer>> = (0..count).map(|_| factory()).collect();
-    Execution::new(memory)
-        .adversary(adversary)
-        .seed(seed)
-        .run(machines)
-        .expect("safety violation in experiment run")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use renaming_core::RebatchingMachine;
-    use renaming_sim::adversary::RoundRobin;
     use serde_json::json;
 
     #[test]
@@ -149,6 +145,7 @@ mod tests {
         assert!(quick.trials_for(64) < full.trials_for(64));
         assert!(quick.quick());
         assert_eq!(quick.seed(), 0);
+        assert!(quick.threads() >= 1);
     }
 
     #[test]
@@ -159,6 +156,16 @@ mod tests {
     }
 
     #[test]
+    fn explicit_thread_count_reaches_the_sweep() {
+        let h = Harness::with_threads(true, 7, 3);
+        assert_eq!(h.threads(), 3);
+        assert_eq!(h.sweep().threads(), 3);
+        assert_eq!(h.sweep().seed(), 7);
+        // Zero is clamped: a sweep always has at least one worker.
+        assert_eq!(Harness::with_threads(true, 0, 0).threads(), 1);
+    }
+
+    #[test]
     fn records_roundtrip() {
         let mut h = Harness::new(true, 1);
         h.record("e1", json!({"n": 8}), json!({"max": 3}));
@@ -166,18 +173,5 @@ mod tests {
         h.write_records(&mut buf).expect("write");
         assert_eq!(h.records().len(), 1);
         assert!(String::from_utf8(buf).unwrap().contains("\"e1\""));
-    }
-
-    #[test]
-    fn run_execution_produces_full_report() {
-        let layout = paper_layout(32);
-        let report = run_execution(
-            layout.namespace_size(),
-            32,
-            Box::new(RoundRobin::new()),
-            7,
-            || Box::new(RebatchingMachine::new(Arc::clone(&layout), 0)),
-        );
-        assert_eq!(report.named_count(), 32);
     }
 }

@@ -11,7 +11,15 @@
 //! ```text
 //! cargo run -p renaming-bench --release --bin experiments -- all
 //! cargo run -p renaming-bench --release --bin experiments -- e1 e7 --quick
+//! cargo run -p renaming-bench --release --bin experiments -- all --threads 8
 //! ```
+//!
+//! Experiment sweeps run on the monomorphic engine tier through the
+//! [`sweep::Sweep`] harness: `MachineKind` fleets, `AdversaryKind`
+//! schedulers, `FastRng` coins and per-worker `EngineScratch` reuse,
+//! with trials optionally fanned out across cores (`--threads`,
+//! default: all cores). Per-trial seeds are derived from the trial
+//! index alone, so reports are byte-identical at any thread count.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -20,6 +28,8 @@ pub mod experiments;
 mod harness;
 pub mod legacy;
 pub mod machine_kind;
+pub mod sweep;
 
 pub use harness::Harness;
 pub use machine_kind::{AnyMachine, MachineKind};
+pub use sweep::{AdversaryKind, AnyAdversary, Sweep, SweepWorker, TrialSpec};

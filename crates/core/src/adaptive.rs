@@ -104,6 +104,15 @@ impl AdaptiveMachine {
     }
 }
 
+impl driver::ResetMachine for AdaptiveMachine {
+    fn reset(&mut self) {
+        // No buffers to recycle (unlike FastAdaptiveMachine), so the
+        // initial state is exactly a fresh machine — delegating keeps
+        // future fields from drifting out of the reset.
+        *self = Self::new(Arc::clone(&self.layout));
+    }
+}
+
 impl AdaptiveMachine {
     #[inline]
     fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
@@ -324,6 +333,12 @@ impl<T: Tas> AdaptiveRebatching<T> {
     /// Builds a step machine over this collection's layout.
     pub fn machine(&self) -> AdaptiveMachine {
         AdaptiveMachine::new(Arc::clone(&self.layout))
+    }
+
+    /// A per-thread session reusing one machine across
+    /// [`get_name`](Self::get_name)-equivalent calls.
+    pub fn session(&self) -> driver::NameSession<AdaptiveMachine, T> {
+        driver::NameSession::new(self.machine(), Arc::clone(&self.slots))
     }
 }
 

@@ -180,6 +180,17 @@ impl ObjectCall {
         self.probes
     }
 
+    /// Rewinds the call to its initial state (batch 0, no probes spent),
+    /// keeping the layout handle — the building block of per-thread
+    /// session reuse, where one machine serves many operations without
+    /// being reconstructed per call.
+    pub fn reset(&mut self) {
+        self.state = ObjectState::Batch(BatchCall::new_ref(&self.layout, self.base, 0));
+        self.deepest_batch = 0;
+        self.entered_backup = false;
+        self.probes = 0;
+    }
+
     /// Chooses the next probe location.
     ///
     /// # Panics

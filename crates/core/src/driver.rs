@@ -6,6 +6,14 @@
 //! thread, with each proposed probe hitting a real [`TasArray`] slot. Since
 //! all algorithm logic lives in the machines, the simulated and threaded
 //! implementations cannot drift apart.
+//!
+//! Long-lived workloads should hold a [`NameSession`] per thread: it
+//! reuses one machine across `get_name` calls (via [`ResetMachine`])
+//! instead of constructing a machine — with its `Arc` refcount traffic
+//! and, for the fast-adaptive algorithm, its search-stack allocation —
+//! on every operation.
+
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -13,6 +21,51 @@ use renaming_sim::{Action, Name, Renamer};
 use renaming_tas::{Tas, TasArray};
 
 use crate::RenamingError;
+
+/// A step machine that can rewind to its initial state in place,
+/// reusing its allocations, so one machine instance serves many
+/// renaming operations.
+pub trait ResetMachine: Renamer {
+    /// Rewinds the machine to the state a freshly constructed machine
+    /// starts in. After `reset`, driving the machine with the same coin
+    /// flips against the same memory produces the same outcome as a new
+    /// machine would.
+    fn reset(&mut self);
+}
+
+/// A per-thread handle onto one concurrent renaming object that reuses
+/// a single machine across operations.
+///
+/// Obtained from the objects' `session()` constructors (e.g.
+/// [`crate::Rebatching::session`]). Each participating thread keeps its
+/// own session; the underlying slot array stays shared, so names remain
+/// unique across sessions.
+#[derive(Debug)]
+pub struct NameSession<M, T: Tas> {
+    machine: M,
+    slots: Arc<TasArray<T>>,
+}
+
+impl<M: ResetMachine, T: Tas> NameSession<M, T> {
+    /// Builds a session from a machine and the object's shared slots.
+    pub(crate) fn new(machine: M, slots: Arc<TasArray<T>>) -> Self {
+        Self { machine, slots }
+    }
+
+    /// Acquires a unique name, reusing this session's machine.
+    ///
+    /// Behaves exactly like the owning object's `get_name` (the machine
+    /// is reset to its initial state first), without constructing a
+    /// machine per call.
+    ///
+    /// # Errors
+    ///
+    /// As for the owning object's `get_name`.
+    pub fn get_name<R: Rng>(&mut self, rng: &mut R) -> Result<Name, RenamingError> {
+        self.machine.reset();
+        drive(&mut self.machine, &self.slots, rng)
+    }
+}
 
 /// Runs `machine` to completion against `slots`, drawing coins from `rng`.
 ///
@@ -129,5 +182,114 @@ mod tests {
             give_up_at: 10,
         };
         let _ = drive(&mut machine, &slots, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod session_tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::{
+        AdaptiveRebatching, Epsilon, FastAdaptiveRebatching, Rebatching,
+    };
+
+    /// Drains `count` names from `fresh` via per-call machines and from a
+    /// twin object via one reused session; the sequences must agree
+    /// exactly (same coins, same slot states, same machine logic).
+    fn assert_session_matches_per_call<G, S>(count: usize, fresh: G, session: S)
+    where
+        G: Fn(&mut StdRng) -> usize,
+        S: FnMut(&mut StdRng) -> usize,
+    {
+        let mut session = session;
+        let mut rng_fresh = StdRng::seed_from_u64(77);
+        let mut rng_session = StdRng::seed_from_u64(77);
+        for i in 0..count {
+            let a = fresh(&mut rng_fresh);
+            let b = session(&mut rng_session);
+            assert_eq!(a, b, "call {i} diverged between session and per-call path");
+        }
+    }
+
+    #[test]
+    fn rebatching_session_matches_per_call_machines() {
+        let n = 32;
+        let per_call = Rebatching::with_defaults(n, Epsilon::one()).expect("construct");
+        let reused = Rebatching::with_defaults(n, Epsilon::one()).expect("construct");
+        let mut session = reused.session();
+        assert_session_matches_per_call(
+            n,
+            |rng| per_call.get_name(rng).expect("per-call name").value(),
+            |rng| session.get_name(rng).expect("session name").value(),
+        );
+    }
+
+    #[test]
+    fn adaptive_session_matches_per_call_machines() {
+        let per_call = AdaptiveRebatching::with_defaults(256, Epsilon::one()).expect("construct");
+        let reused = AdaptiveRebatching::with_defaults(256, Epsilon::one()).expect("construct");
+        let mut session = reused.session();
+        assert_session_matches_per_call(
+            32,
+            |rng| per_call.get_name(rng).expect("per-call name").value(),
+            |rng| session.get_name(rng).expect("session name").value(),
+        );
+    }
+
+    #[test]
+    fn fast_adaptive_session_matches_per_call_machines() {
+        let per_call = FastAdaptiveRebatching::with_defaults(256).expect("construct");
+        let reused = FastAdaptiveRebatching::with_defaults(256).expect("construct");
+        let mut session = reused.session();
+        // Enough acquires that later calls run real Search chains, so the
+        // recycled frame pool is exercised, not just the race phase.
+        assert_session_matches_per_call(
+            64,
+            |rng| per_call.get_name(rng).expect("per-call name").value(),
+            |rng| session.get_name(rng).expect("session name").value(),
+        );
+    }
+
+    #[test]
+    fn session_steady_state_acquire_release_stays_unique() {
+        // One session per simulated thread; acquire/release cycles on a
+        // full-capacity object must keep succeeding (the reused machine
+        // rewinds completely between operations).
+        let object = Rebatching::with_defaults(8, Epsilon::one()).expect("construct");
+        let mut session = object.session();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let name = session.get_name(&mut rng).expect("within capacity");
+            object.release_name(name);
+        }
+        assert_eq!(object.slots().set_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_sessions_hand_out_unique_names() {
+        let n = 64;
+        let object = Rebatching::with_defaults(n, Epsilon::one()).expect("construct");
+        let names = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let mut session = object.session();
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(900 + t as u64);
+                        (0..n / 8)
+                            .map(|_| session.get_name(&mut rng).expect("name").value())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("join"))
+                .collect::<Vec<_>>()
+        });
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate names across sessions");
     }
 }

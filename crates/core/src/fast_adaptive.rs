@@ -85,6 +85,9 @@ enum Phase {
 pub struct FastAdaptiveMachine {
     layout: Arc<AdaptiveLayout>,
     phase: Phase,
+    /// Retired search-stack buffer, reused by the next `Search` chain so
+    /// session-reused machines stop allocating one per chain.
+    frame_pool: Vec<Frame>,
     probes: u64,
     failed_calls: u64,
     objects_visited: u64,
@@ -109,6 +112,7 @@ impl FastAdaptiveMachine {
         Self {
             layout,
             phase: Phase::Race { pos: 0, call },
+            frame_pool: Vec::new(),
             probes: 0,
             failed_calls: 0,
             objects_visited: 1,
@@ -145,9 +149,12 @@ impl FastAdaptiveMachine {
                         // Line 7: Search(2^(ℓ-1), 2^ℓ, u, 1) — t starts at 1
                         // because R_a already received TryGetName(0) in the
                         // race phase.
+                        let mut frames = std::mem::take(&mut self.frame_pool);
+                        frames.clear();
+                        frames.push(Frame::entry(a, b, u, 1));
                         self.phase = Phase::Searching {
                             j,
-                            frames: vec![Frame::entry(a, b, u, 1)],
+                            frames,
                             sub: None,
                         };
                     } else {
@@ -197,7 +204,11 @@ impl FastAdaptiveMachine {
             if frames.is_empty() {
                 // The chain's outermost Search returned: line 8 (ℓ--).
                 let j = *j;
-                self.phase = Phase::TopLoop { j: j - 1, u: value };
+                let old = std::mem::replace(&mut self.phase, Phase::TopLoop { j: j - 1, u: value });
+                if let Phase::Searching { frames, .. } = old {
+                    // Retire the (empty) search stack for the next chain.
+                    self.frame_pool = frames;
+                }
                 return;
             }
             let last = frames.len() - 1;
@@ -272,6 +283,22 @@ impl FastAdaptiveMachine {
                 }
             }
         }
+    }
+}
+
+impl driver::ResetMachine for FastAdaptiveMachine {
+    fn reset(&mut self) {
+        // A reset mid-search (e.g. after a caller abandoned a drive)
+        // still recycles the stack buffer.
+        if let Phase::Searching { frames, .. } = &mut self.phase {
+            self.frame_pool = std::mem::take(frames);
+        }
+        let mut pool = std::mem::take(&mut self.frame_pool);
+        pool.clear();
+        // Delegate so the reset state is definitionally a fresh machine;
+        // only the recycled buffer survives.
+        *self = Self::new(Arc::clone(&self.layout));
+        self.frame_pool = pool;
     }
 }
 
@@ -497,6 +524,12 @@ impl<T: Tas> FastAdaptiveRebatching<T> {
     /// Builds a step machine over this collection's layout.
     pub fn machine(&self) -> FastAdaptiveMachine {
         FastAdaptiveMachine::new(Arc::clone(&self.layout))
+    }
+
+    /// A per-thread session reusing one machine (and its search-stack
+    /// buffer) across [`get_name`](Self::get_name)-equivalent calls.
+    pub fn session(&self) -> driver::NameSession<FastAdaptiveMachine, T> {
+        driver::NameSession::new(self.machine(), Arc::clone(&self.slots))
     }
 }
 

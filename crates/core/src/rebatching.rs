@@ -40,6 +40,16 @@ impl RebatchingMachine {
     }
 }
 
+impl driver::ResetMachine for RebatchingMachine {
+    fn reset(&mut self) {
+        self.call.reset();
+        self.won = None;
+        self.exhausted = false;
+        self.failed_calls = 0;
+        self.last_batch_seen = 0;
+    }
+}
+
 impl RebatchingMachine {
     #[inline]
     fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
@@ -256,6 +266,14 @@ impl<T: Tas> Rebatching<T> {
     /// executions; the machine does not touch the concurrent slots).
     pub fn machine(&self) -> RebatchingMachine {
         RebatchingMachine::new(Arc::clone(&self.layout), 0)
+    }
+
+    /// A per-thread session reusing one machine across
+    /// [`get_name`](Self::get_name)-equivalent calls — the long-lived
+    /// fast path: no machine construction (and no `Arc` refcount
+    /// traffic) per operation.
+    pub fn session(&self) -> driver::NameSession<RebatchingMachine, T> {
+        driver::NameSession::new(self.machine(), Arc::clone(&self.slots))
     }
 }
 

@@ -136,25 +136,27 @@ impl ExecutionReport {
         }
     }
 
-    /// The `q`-quantile (in `[0, 1]`) of steps over terminated processes.
+    /// The `q`-quantile (in `[0, 1]`) of steps over terminated processes,
+    /// linearly interpolated between adjacent order statistics via
+    /// [`renaming_analysis::lerp_quantile`] (nearest-rank rounding biased
+    /// medians and tail percentiles upward).
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
-    pub fn steps_quantile(&self, q: f64) -> u64 {
+    pub fn steps_quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        let mut named: Vec<u64> = self
+        let mut named: Vec<f64> = self
             .outcomes
             .iter()
             .filter(|o| o.name().is_some())
-            .map(|o| o.steps())
+            .map(|o| o.steps() as f64)
             .collect();
         if named.is_empty() {
-            return 0;
+            return 0.0;
         }
-        named.sort_unstable();
-        let idx = ((named.len() - 1) as f64 * q).round() as usize;
-        named[idx]
+        named.sort_unstable_by(f64::total_cmp);
+        renaming_analysis::lerp_quantile(&named, q)
     }
 
     /// Lemma 4.2's `n_i`: the number of processes that exhausted every
@@ -242,8 +244,10 @@ mod tests {
         assert_eq!(r.max_name(), Some(Name::new(3)));
         assert_eq!(r.max_steps(), 10);
         assert!((r.mean_steps() - 7.0).abs() < 1e-12);
-        assert_eq!(r.steps_quantile(0.0), 4);
-        assert_eq!(r.steps_quantile(1.0), 10);
+        assert_eq!(r.steps_quantile(0.0), 4.0);
+        assert_eq!(r.steps_quantile(1.0), 10.0);
+        // Two named processes (4 and 10 steps): the median interpolates.
+        assert!((r.steps_quantile(0.5) - 7.0).abs() < 1e-12);
     }
 
     #[test]
@@ -279,7 +283,7 @@ mod tests {
         };
         assert_eq!(r.max_steps(), 0);
         assert_eq!(r.mean_steps(), 0.0);
-        assert_eq!(r.steps_quantile(0.5), 0);
+        assert_eq!(r.steps_quantile(0.5), 0.0);
         assert_eq!(r.max_name(), None);
     }
 }

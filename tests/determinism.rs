@@ -139,6 +139,43 @@ fn fast_adaptive_machines_are_deterministic_given_streams() {
     }
 }
 
+/// Runs a batch of experiments through the parallel sweep path and
+/// returns (report texts, serialized JSON-lines records).
+fn experiment_fingerprint(threads: usize) -> (Vec<String>, Vec<u8>) {
+    use renaming_bench::{experiments, Harness};
+
+    let mut harness = Harness::with_threads(true, 42, threads);
+    // One execution-sweep experiment per shape: single-kind trials (e1),
+    // the adaptive collection (e5), multi-kind trials (e10), crash plans
+    // (e12) and the numeric parallel map (e8).
+    let reports: Vec<String> = ["e1", "e5", "e8", "e10", "e12"]
+        .iter()
+        .map(|id| experiments::run(id, &mut harness))
+        .collect();
+    let mut records = Vec::new();
+    harness.write_records(&mut records).expect("serialize");
+    (reports, records)
+}
+
+#[test]
+fn parallel_sweeps_are_byte_identical_across_thread_counts() {
+    // The tentpole guarantee of the parallel trial runner: a report is a
+    // pure function of (experiment, seed), never of the thread count that
+    // computed it.
+    let (reports_1, records_1) = experiment_fingerprint(1);
+    for threads in [2, 4] {
+        let (reports_n, records_n) = experiment_fingerprint(threads);
+        assert_eq!(
+            reports_1, reports_n,
+            "report text diverged at {threads} threads"
+        );
+        assert_eq!(
+            records_1, records_n,
+            "JSON records diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn step_counts_equal_probe_counts() {
     // The simulator's step accounting and the machines' own probe counters

@@ -1,7 +1,106 @@
-//! Vendored subset of `crossbeam-utils`: just [`CachePadded`].
+//! Vendored subset of `crossbeam-utils`: [`CachePadded`] and
+//! [`thread::scope`].
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+
+pub mod thread {
+    //! Scoped threads, API-compatible with `crossbeam_utils::thread`.
+    //!
+    //! The real crate predates `std::thread::scope`; this vendored subset
+    //! keeps crossbeam's surface (`scope(|s| { s.spawn(|_| ...) })`, a
+    //! `Result`-returning `scope`, spawn closures receiving the scope so
+    //! they can spawn further threads) but delegates to the standard
+    //! library's scoped threads underneath.
+
+    /// A scope for spawning threads that borrow from the enclosing stack
+    /// frame (`'env`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl std::fmt::Debug for Scope<'_, '_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Scope").finish_non_exhaustive()
+        }
+    }
+
+    /// Handle to a thread spawned in a [`Scope`].
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope; every thread spawned in it is joined before
+    /// `scope` returns. Unlike `std::thread::scope`, mirrors crossbeam by
+    /// returning a `Result` (always `Ok` here — std propagates child
+    /// panics on join instead).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this vendored implementation; the `Result` exists
+    /// for crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let sum: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .iter()
+                    .map(|&v| s.spawn(move |_| v * 10))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("join"))
+                    .sum()
+            })
+            .expect("scope");
+            assert_eq!(sum, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let result = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7).join().expect("inner"))
+                    .join()
+                    .expect("outer")
+            })
+            .expect("scope");
+            assert_eq!(result, 7);
+        }
+    }
+}
 
 /// Pads and aligns a value to 128 bytes so that adjacent values never share
 /// a cache line (128 covers the common 64-byte line plus adjacent-line
