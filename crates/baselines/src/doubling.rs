@@ -23,11 +23,15 @@ pub struct DoublingUniformMachine {
     won: Option<Name>,
     probes: u64,
     levels: u64,
+    /// Report `Stuck` after this many failed probes instead of spinning
+    /// forever on a full namespace. `None` never gives up (the simulator
+    /// sizes executions so somebody always wins).
+    give_up_after: Option<u64>,
 }
 
 impl DoublingUniformMachine {
     /// Creates a machine over `0..namespace` with `probes_per_level`
-    /// probes before each doubling.
+    /// probes before each doubling (never gives up).
     ///
     /// # Panics
     ///
@@ -44,6 +48,22 @@ impl DoublingUniformMachine {
             won: None,
             probes: 0,
             levels: 1,
+            give_up_after: None,
+        }
+    }
+
+    /// Creates a machine that reports `Stuck` after `cap` failed probes —
+    /// required when driving against a concurrent slot array that can be
+    /// fully occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace < 2`, `probes_per_level == 0` or `cap == 0`.
+    pub fn with_give_up(namespace: usize, probes_per_level: usize, cap: u64) -> Self {
+        assert!(cap > 0, "give-up cap must be positive");
+        Self {
+            give_up_after: Some(cap),
+            ..Self::new(namespace, probes_per_level)
         }
     }
 
@@ -53,11 +73,24 @@ impl DoublingUniformMachine {
     }
 }
 
+/// Baselines hold at most one win at a time: nothing is superseded.
+impl renaming_core::AbandonedNames for DoublingUniformMachine {}
+
+impl renaming_core::ResetMachine for DoublingUniformMachine {
+    fn reset(&mut self) {
+        *self = Self {
+            give_up_after: self.give_up_after,
+            ..Self::new(self.namespace, self.probes_per_level)
+        };
+    }
+}
+
 impl DoublingUniformMachine {
     #[inline]
     fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
         match self.won {
             Some(name) => Action::Done(name),
+            None if self.give_up_after.is_some_and(|cap| self.probes >= cap) => Action::Stuck,
             None => {
                 self.last = rng.gen_range(0..self.window);
                 Action::Probe(self.last)

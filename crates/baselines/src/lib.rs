@@ -17,17 +17,23 @@
 //! All baselines implement [`renaming_sim::Renamer`], so they run under
 //! the same adversaries, crash plans and reports as the paper's
 //! algorithms, and can be driven against hardware atomics with
-//! [`renaming_core::driver::drive`].
+//! [`renaming_core::driver::drive`]. The machines also implement
+//! [`renaming_core::ResetMachine`], and the [`objects`] module wraps each
+//! of them as a concurrent object (`get_name` / `release_name` /
+//! `session`), so the baselines plug into the `renaming-service`
+//! front-end next to the paper's algorithms.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 mod doubling;
 mod linear;
+pub mod objects;
 mod single_batch;
 mod uniform;
 
 pub use doubling::DoublingUniformMachine;
 pub use linear::LinearScanMachine;
+pub use objects::{DoublingRenaming, LinearScanRenaming, SingleBatchRenaming, UniformRenaming};
 pub use single_batch::SingleBatchMachine;
 pub use uniform::UniformMachine;

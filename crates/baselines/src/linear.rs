@@ -16,12 +16,38 @@ pub struct LinearScanMachine {
     next: usize,
     won: Option<Name>,
     probes: u64,
+    /// Give up (report `Stuck`) at this location instead of scanning past
+    /// the namespace. `None` scans unboundedly (the simulator sizes the
+    /// memory to the fleet, so the scan always wins first).
+    bound: Option<usize>,
 }
 
 impl LinearScanMachine {
-    /// Creates the machine (scans from location 0).
+    /// Creates the machine (scans from location 0, no upper bound).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a machine that reports `Stuck` instead of probing at or
+    /// beyond `namespace` — required when driving against a concurrent
+    /// slot array that can be fully occupied.
+    pub fn bounded(namespace: usize) -> Self {
+        Self {
+            bound: Some(namespace),
+            ..Self::default()
+        }
+    }
+}
+
+/// Baselines hold at most one win at a time: nothing is superseded.
+impl renaming_core::AbandonedNames for LinearScanMachine {}
+
+impl renaming_core::ResetMachine for LinearScanMachine {
+    fn reset(&mut self) {
+        *self = Self {
+            bound: self.bound,
+            ..Self::default()
+        };
     }
 }
 
@@ -29,6 +55,7 @@ impl Renamer for LinearScanMachine {
     fn propose(&mut self, _rng: &mut dyn RngCore) -> Action {
         match self.won {
             Some(name) => Action::Done(name),
+            None if self.bound.is_some_and(|b| self.next >= b) => Action::Stuck,
             None => Action::Probe(self.next),
         }
     }

@@ -47,6 +47,15 @@ impl SingleBatchMachine {
     }
 }
 
+/// Baselines hold at most one win at a time: nothing is superseded.
+impl renaming_core::AbandonedNames for SingleBatchMachine {}
+
+impl renaming_core::ResetMachine for SingleBatchMachine {
+    fn reset(&mut self) {
+        *self = Self::new(self.namespace, self.budget);
+    }
+}
+
 impl SingleBatchMachine {
     #[inline]
     fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {

@@ -17,10 +17,15 @@ pub struct UniformMachine {
     last: usize,
     won: Option<Name>,
     probes: u64,
+    /// Report `Stuck` after this many failed probes instead of spinning
+    /// forever on a full namespace. `None` never gives up (the simulator
+    /// sizes executions so somebody always wins).
+    give_up_after: Option<u64>,
 }
 
 impl UniformMachine {
-    /// Creates a machine probing locations `0..namespace`.
+    /// Creates a machine probing locations `0..namespace` (never gives
+    /// up).
     ///
     /// # Panics
     ///
@@ -32,6 +37,23 @@ impl UniformMachine {
             last: 0,
             won: None,
             probes: 0,
+            give_up_after: None,
+        }
+    }
+
+    /// Creates a machine that reports `Stuck` after `cap` failed probes —
+    /// required when driving against a concurrent slot array that can be
+    /// fully occupied (a machine with no give-up path would spin forever
+    /// there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace == 0` or `cap == 0`.
+    pub fn with_give_up(namespace: usize, cap: u64) -> Self {
+        assert!(cap > 0, "give-up cap must be positive");
+        Self {
+            give_up_after: Some(cap),
+            ..Self::new(namespace)
         }
     }
 
@@ -41,11 +63,24 @@ impl UniformMachine {
     }
 }
 
+/// Baselines hold at most one win at a time: nothing is superseded.
+impl renaming_core::AbandonedNames for UniformMachine {}
+
+impl renaming_core::ResetMachine for UniformMachine {
+    fn reset(&mut self) {
+        *self = Self {
+            give_up_after: self.give_up_after,
+            ..Self::new(self.namespace)
+        };
+    }
+}
+
 impl UniformMachine {
     #[inline]
     fn propose_impl<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Action {
         match self.won {
             Some(name) => Action::Done(name),
+            None if self.give_up_after.is_some_and(|cap| self.probes >= cap) => Action::Stuck,
             None => {
                 self.last = rng.gen_range(0..self.namespace);
                 Action::Probe(self.last)

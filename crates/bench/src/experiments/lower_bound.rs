@@ -7,8 +7,8 @@ use serde_json::json;
 use renaming_analysis::{LinearFit, Table};
 use renaming_lowerbound::types::{concentrated_types, uniform_types};
 use renaming_lowerbound::{
-    extinction_layer, lemma_6_6_bound, predicted_layers, run_marking, uniform_extinction_layers,
-    verify_lemma_6_5, CoupledPoisson, MarkingConfig, RateSystem,
+    extinction_layer, lemma_6_6_bound, predicted_layers, run_marking_sharded,
+    uniform_extinction_layers, verify_lemma_6_5, CoupledPoisson, MarkingConfig, RateSystem,
 };
 
 use crate::experiments::{header, verdict};
@@ -61,7 +61,10 @@ pub fn e7_layers(h: &mut Harness) -> String {
     let _ = writeln!(out, "{table}");
     let _ = writeln!(out, "fit layers vs lg lg n: {fit}");
 
-    // (b) Monte-Carlo marking with the coupling gadget.
+    // (b) Monte-Carlo marking with the coupling gadget. The per-location
+    // coupled draws inside a layer are independent (each has its own
+    // (seed, layer, location) RNG stream), so they shard across the
+    // sweep's worker threads — byte-identical at any thread count.
     let mc_n = if h.quick() { 1 << 10 } else { 1 << 14 };
     let s = 2 * mc_n;
     let types = uniform_types(2 * mc_n, s, 12, h.seed());
@@ -71,7 +74,10 @@ pub fn e7_layers(h: &mut Harness) -> String {
         layers: 12,
         seed: h.seed() ^ 0xabcd,
     };
-    let outcomes = run_marking(config, &types);
+    let marking_sweep = h.sweep();
+    let outcomes = run_marking_sharded(config, &types, |count, survivors_at| {
+        marking_sweep.map(count, survivors_at)
+    });
     let mut mc_table = Table::new(["layer", "marked (realized)", "lambda (analytic)"]);
     for o in &outcomes {
         mc_table.row([

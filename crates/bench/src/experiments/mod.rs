@@ -11,9 +11,11 @@ mod comparisons;
 mod lower_bound;
 mod non_adaptive;
 mod robustness;
+mod service_throughput;
 mod throughput;
 
 pub use comparisons::layers_to_completion;
+pub use service_throughput::ARTIFACT_PATH as SERVICE_ARTIFACT;
 pub use throughput::{ARTIFACT_PATH as THROUGHPUT_ARTIFACT, SPEEDUP_TARGET};
 
 use crate::Harness;
@@ -22,7 +24,8 @@ use crate::Harness;
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentInfo {
     /// Registry id: the paper claims `e1` .. `e14`, the ablations `a1`
-    /// and `a2`, plus the engine-tooling `throughput` entry.
+    /// and `a2`, plus the tooling entries `throughput` (engine) and
+    /// `service_throughput` (the `NameService` front-end).
     pub id: &'static str,
     /// The paper claim being reproduced.
     pub claim: &'static str,
@@ -51,6 +54,7 @@ pub fn catalog() -> Vec<ExperimentInfo> {
         ExperimentInfo { id: "a1", claim: "Ablation: geometric batches vs same budget without geometry", runner: ablations::a1_geometry },
         ExperimentInfo { id: "a2", claim: "Ablation: the t0 = 17 ln(8e/eps)/eps constant", runner: ablations::a2_t0 },
         ExperimentInfo { id: "throughput", claim: "Engine: monomorphic fast path >= 5x the seed engine's steps/sec (tooling)", runner: throughput::throughput },
+        ExperimentInfo { id: "service_throughput", claim: "Service: NameService acquire/release ops/sec per backend (tooling)", runner: service_throughput::service_throughput },
     ]
 }
 
@@ -90,7 +94,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
-        assert_eq!(before, 17);
+        assert_eq!(before, 18);
     }
 
     #[test]

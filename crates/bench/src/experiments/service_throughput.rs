@@ -1,0 +1,172 @@
+//! Service throughput: acquire/release operations per second through the
+//! `NameService` front-end, across backends and thread counts.
+//!
+//! Not a paper claim — this experiment tracks the service layer the API
+//! redesign introduced: real OS threads hammer one `NameService` with
+//! acquire/drop cycles (guard drop releases the name), for every
+//! algorithm selectable through `NameServiceBuilder` on the atomic TAS
+//! backend. Beyond raw ops/sec, the run is a correctness soak: every
+//! cycle must succeed within capacity, and the namespace must drain to
+//! zero held names at the end.
+//!
+//! Results land in the harness records and in `BENCH_service.json` — the
+//! CI artifact tracking the service's perf trajectory across PRs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use serde_json::{json, Value};
+
+use renaming_analysis::Table;
+use renaming_service::{Algorithm, NameService, SeedPolicy};
+
+use crate::experiments::{header, verdict};
+use crate::Harness;
+
+/// Where the JSON artifact lands (relative to the working directory).
+pub const ARTIFACT_PATH: &str = "BENCH_service.json";
+
+/// Capacity every service is provisioned for; thread counts stay below
+/// it so each acquire must succeed.
+const CAPACITY: usize = 64;
+
+struct Measurement {
+    ops: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn ops_per_sec(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.seconds
+        }
+    }
+}
+
+/// `threads` OS threads each run `ops_per_thread` acquire/drop cycles
+/// against one shared service.
+fn hammer(service: &NameService, threads: usize, ops_per_thread: usize) -> Measurement {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                for _ in 0..ops_per_thread {
+                    let guard = service.acquire().expect("within capacity");
+                    std::hint::black_box(guard.value());
+                    // guard drop -> release
+                }
+            });
+        }
+    });
+    Measurement {
+        ops: (threads * ops_per_thread) as u64,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The `service_throughput` experiment: acquire/release ops/sec through
+/// `NameService` for every atomic-backend algorithm, at 1, 2 and 4
+/// threads, plus a post-run drain check. Writes `BENCH_service.json`.
+pub fn service_throughput(h: &mut Harness) -> String {
+    let mut out = header(
+        "service_throughput",
+        "NameService: acquire/release ops/sec per backend and thread count (tooling)",
+    );
+    let ops_per_thread = if h.quick() { 3_000 } else { 30_000 };
+    let thread_counts = [1usize, 2, 4];
+
+    let mut table = Table::new(["backend", "threads", "ops", "Kops/s", "drained"]);
+    let mut rows: Vec<Value> = Vec::new();
+    let mut all_drained = true;
+
+    for algorithm in Algorithm::all() {
+        for &threads in &thread_counts {
+            let service = NameService::builder(algorithm, CAPACITY)
+                .seed_policy(SeedPolicy::Fixed(h.seed()))
+                .build()
+                .expect("service builds for every algorithm");
+            // Warm the worker pool (first acquires construct sessions).
+            hammer(&service, threads, 50);
+            let m = hammer(&service, threads, ops_per_thread);
+            let drained = service.held() == 0;
+            all_drained &= drained;
+            table.row([
+                service.algorithm().to_string(),
+                threads.to_string(),
+                m.ops.to_string(),
+                format!("{:.0}", m.ops_per_sec() / 1e3),
+                if drained { "yes".into() } else { "NO".to_string() },
+            ]);
+            rows.push(json!({
+                "backend": service.algorithm(),
+                "threads": threads,
+                "ops": m.ops,
+                "ops_per_sec": m.ops_per_sec(),
+                "drained": drained
+            }));
+            h.record(
+                "service_throughput",
+                json!({"backend": service.algorithm(), "threads": threads, "capacity": CAPACITY}),
+                json!({"ops": m.ops, "ops_per_sec": m.ops_per_sec(), "drained": drained}),
+            );
+        }
+    }
+
+    let artifact = json!({
+        "experiment": "service_throughput",
+        "mode": if h.quick() { "quick" } else { "full" },
+        "seed": h.seed(),
+        "capacity": CAPACITY,
+        "reproduce": format!(
+            "cargo run -p renaming-bench --release --bin experiments -- service_throughput{} --seed {}",
+            if h.quick() { " --quick" } else { "" },
+            h.seed()
+        ),
+        "rows": rows
+    });
+    match serde_json::to_string(&artifact) {
+        Ok(text) => match std::fs::write(ARTIFACT_PATH, text + "\n") {
+            Ok(()) => {
+                let _ = writeln!(out, "wrote {ARTIFACT_PATH}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "could not write {ARTIFACT_PATH}: {e}");
+            }
+        },
+        Err(e) => {
+            let _ = writeln!(out, "could not serialize artifact: {e}");
+        }
+    }
+
+    let _ = writeln!(out, "{table}");
+    out.push_str(&verdict(
+        all_drained,
+        "every backend completed all acquire/release cycles and drained to 0 held names",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_passes_and_covers_every_backend() {
+        let mut h = Harness::new(true, 5);
+        let report = service_throughput(&mut h);
+        assert!(report.contains("[PASS]"), "{report}");
+        for label in [
+            "rebatching",
+            "adaptive-rebatching",
+            "fast-adaptive-rebatching",
+            "uniform",
+            "linear-scan",
+            "single-batch",
+            "doubling-uniform",
+        ] {
+            assert!(report.contains(label), "missing {label} in:\n{report}");
+        }
+    }
+}

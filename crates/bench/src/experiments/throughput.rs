@@ -39,6 +39,7 @@ use crate::experiments::{header, verdict};
 use crate::harness::paper_layout;
 use crate::legacy::{run_legacy, LegacyRebatchingMachine};
 use crate::machine_kind::MachineKind;
+use crate::sweep::{AdversaryKind, Sweep, TrialSpec};
 use crate::Harness;
 
 /// Speedup the monomorphic tier must reach over the legacy (seed) engine.
@@ -139,8 +140,46 @@ fn measure_typed(
     }
 }
 
+/// One parallel-sweep measurement: `trials` typed ReBatching trials fanned
+/// out over `threads` sweep workers (the same [`Sweep`] path every
+/// experiment uses), timed wall-clock.
+fn measure_sweep_threads(
+    layout: &Arc<renaming_core::BatchLayout>,
+    n: usize,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> PathMeasurement {
+    let memory = layout.namespace_size();
+    let kind = MachineKind::Rebatching {
+        layout: Arc::clone(layout),
+        base: 0,
+    };
+    let sweep = Sweep::new(seed, threads);
+    let start = Instant::now();
+    let steps: u64 = sweep
+        .trials(trials, |trial, worker| {
+            worker
+                .run(&TrialSpec::new(
+                    memory,
+                    n,
+                    &kind,
+                    AdversaryKind::UniformRandom,
+                    trial_seed(seed, n, trial),
+                ))
+                .total_steps
+        })
+        .iter()
+        .sum();
+    PathMeasurement {
+        steps,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
 /// The `throughput` experiment: measures steps/sec on the legacy, boxed
-/// and monomorphic engines over the ReBatching sweep and writes
+/// and monomorphic engines over the ReBatching sweep, plus the parallel
+/// sweep's multi-thread scaling curve, and writes
 /// `BENCH_throughput.json`.
 pub fn throughput(h: &mut Harness) -> String {
     let mut out = header(
@@ -224,6 +263,59 @@ pub fn throughput(h: &mut Harness) -> String {
         typed_total.accumulate(typed);
     }
 
+    // Multi-thread scaling of the parallel sweep harness (ROADMAP open
+    // item): the same typed trials, fanned over 1..=N sweep workers. On a
+    // single-core runner the curve is flat — the point is to document the
+    // speedup wherever CI has cores.
+    let available =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4, 8];
+    thread_counts.push(h.threads());
+    thread_counts.push(available);
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    thread_counts.retain(|&t| t <= 8.max(available).max(h.threads()));
+    let scale_n = if h.quick() { 1 << 11 } else { 1 << 13 };
+    let scale_layout = paper_layout(scale_n);
+    let scale_trials = (4 * h.trials_for(scale_n)).max(8);
+    // Warm once, then best-of-3 per thread count, like the engine rows.
+    let _ = measure_sweep_threads(&scale_layout, scale_n, scale_trials, 1, h.seed() ^ 0xcafe);
+    let mut scaling_rows: Vec<Value> = Vec::new();
+    let mut scaling_table = Table::new(["sweep threads", "steps", "Msteps/s", "speedup vs 1"]);
+    let mut single_rate = 0.0f64;
+    for &threads in &thread_counts {
+        let best = (0..3)
+            .map(|_| measure_sweep_threads(&scale_layout, scale_n, scale_trials, threads, h.seed()))
+            .max_by(|a, b| {
+                a.steps_per_sec()
+                    .partial_cmp(&b.steps_per_sec())
+                    .expect("finite rates")
+            })
+            .expect("nonempty repetitions");
+        if threads == 1 {
+            single_rate = best.steps_per_sec();
+        }
+        let speedup = best.steps_per_sec() / single_rate.max(f64::MIN_POSITIVE);
+        scaling_table.row([
+            threads.to_string(),
+            best.steps.to_string(),
+            format!("{:.2}", best.steps_per_sec() / 1e6),
+            format!("{speedup:.2}x"),
+        ]);
+        scaling_rows.push(json!({
+            "threads": threads,
+            "n": scale_n,
+            "trials": scale_trials,
+            "steps_per_sec": best.steps_per_sec(),
+            "speedup_vs_1": speedup
+        }));
+        h.record(
+            "throughput",
+            json!({"part": "thread_scaling", "threads": threads, "n": scale_n, "trials": scale_trials}),
+            json!({"steps_per_sec": best.steps_per_sec(), "speedup_vs_1": speedup}),
+        );
+    }
+
     let overall_vs_legacy =
         typed_total.steps_per_sec() / legacy_total.steps_per_sec().max(f64::MIN_POSITIVE);
     let overall_vs_boxed =
@@ -254,7 +346,9 @@ pub fn throughput(h: &mut Harness) -> String {
         "speedup_vs_boxed": overall_vs_boxed,
         "speedup_target": SPEEDUP_TARGET,
         "pass": pass,
-        "rows": rows
+        "rows": rows,
+        "available_parallelism": available,
+        "thread_scaling": scaling_rows
     });
     match serde_json::to_string(&artifact) {
         Ok(text) => match std::fs::write(ARTIFACT_PATH, text + "\n") {
@@ -271,6 +365,12 @@ pub fn throughput(h: &mut Harness) -> String {
     }
 
     let _ = writeln!(out, "{table}");
+    let _ = writeln!(
+        out,
+        "parallel sweep scaling (typed trials, n = {scale_n}, {scale_trials} trials, \
+         {available} core(s) available):"
+    );
+    let _ = writeln!(out, "{scaling_table}");
     out.push_str(&verdict(
         pass,
         &format!(

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use rand::{Rng, RngCore};
 
 use renaming_sim::{Action, MachineStats, Name, Renamer};
-use renaming_tas::{AtomicTas, Tas, TasArray};
+use renaming_tas::{AtomicTas, ResettableTas, Tas, TasArray};
 
 use crate::calls::{CallStatus, ObjectCall};
 use crate::driver;
@@ -30,6 +30,9 @@ use crate::{AdaptiveLayout, Epsilon, ProbeSchedule, RenamingError, DEFAULT_BETA}
 pub struct AdaptiveMachine {
     layout: Arc<AdaptiveLayout>,
     phase: Phase,
+    /// Locations won during the search and later superseded by a smaller
+    /// name (see [`driver::AbandonedNames`]).
+    abandoned: Vec<usize>,
     probes: u64,
     failed_calls: u64,
     objects_visited: u64,
@@ -62,6 +65,7 @@ impl AdaptiveMachine {
         Self {
             layout,
             phase: Phase::Race { pos: 0, call: first },
+            abandoned: Vec::new(),
             probes: 0,
             failed_calls: 0,
             objects_visited: 1,
@@ -104,12 +108,25 @@ impl AdaptiveMachine {
     }
 }
 
+impl driver::AbandonedNames for AdaptiveMachine {
+    fn abandoned(&self) -> &[usize] {
+        &self.abandoned
+    }
+
+    fn clear_abandoned(&mut self) {
+        self.abandoned.clear();
+    }
+}
+
 impl driver::ResetMachine for AdaptiveMachine {
     fn reset(&mut self) {
-        // No buffers to recycle (unlike FastAdaptiveMachine), so the
-        // initial state is exactly a fresh machine — delegating keeps
-        // future fields from drifting out of the reset.
+        // Recycle the abandoned-wins buffer, then delegate so the reset
+        // state is definitionally a fresh machine (future fields cannot
+        // drift out of the reset).
+        let mut abandoned = std::mem::take(&mut self.abandoned);
+        abandoned.clear();
         *self = Self::new(Arc::clone(&self.layout));
+        self.abandoned = abandoned;
     }
 }
 
@@ -194,7 +211,9 @@ impl Renamer for AdaptiveMachine {
                         self.names_acquired += 1;
                         self.absorb_call_stats(&object_call);
                         self.objects_visited += 1;
-                        // Success at R_d: d becomes the new upper bound.
+                        // Success at R_d supersedes the name held from R_b.
+                        self.abandoned.push(best.value());
+                        // d becomes the new upper bound.
                         Self::continue_search(&layout, a, d, Name::new(loc))
                     }
                     CallStatus::Exhausted => {
@@ -307,7 +326,64 @@ impl AdaptiveRebatching<AtomicTas> {
     }
 }
 
+impl<T: ResettableTas> AdaptiveRebatching<T> {
+    /// Acquires a unique name like [`get_name`](Self::get_name), and
+    /// additionally reopens the surplus TAS wins the search phase
+    /// superseded along the way.
+    ///
+    /// Use this (and the sessions' `get_name_recycling`) for long-lived
+    /// workloads: the one-shot `get_name` leaves superseded wins set —
+    /// exactly what the paper's `O(k)` namespace accounting expects, but
+    /// a slot leak per operation under acquire/release churn.
+    ///
+    /// # Errors
+    ///
+    /// As for [`get_name`](Self::get_name).
+    pub fn get_name_recycling<R: Rng>(&self, rng: &mut R) -> Result<Name, RenamingError> {
+        let mut machine = AdaptiveMachine::new(Arc::clone(&self.layout));
+        driver::drive_recycling(&mut machine, &self.slots, rng)
+    }
+
+    /// Releases a previously acquired name, reopening its TAS slot for
+    /// future [`get_name`](Self::get_name) calls — the long-lived
+    /// extension, on any resettable TAS substrate.
+    ///
+    /// Uniqueness among concurrent holders is preserved exactly as for
+    /// [`crate::Rebatching::release_name`]. The *adaptivity* guarantee
+    /// (names of value `O(k)`) is proven for the one-shot case; under
+    /// steady-state churn names stay small because releases refill the
+    /// low objects the race phase visits first, but Theorem 5.1 does not
+    /// cover it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is outside the collection's namespace or not
+    /// currently held — both indicate a caller bug.
+    pub fn release_name(&self, name: Name) {
+        driver::release_checked(&self.slots, self.total_size(), name);
+    }
+}
+
 impl<T: Tas> AdaptiveRebatching<T> {
+    /// Builds a collection over caller-provided TAS slots (e.g. counting
+    /// wrappers, or the register-based tournament via an adapter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::NamespaceExhausted`] if `slots` is smaller
+    /// than the layout's total size.
+    pub fn from_parts(
+        layout: Arc<AdaptiveLayout>,
+        slots: Arc<TasArray<T>>,
+    ) -> Result<Self, RenamingError> {
+        if slots.len() < layout.total_size() {
+            return Err(RenamingError::NamespaceExhausted {
+                namespace: layout.total_size(),
+            });
+        }
+        Ok(Self { layout, slots })
+    }
+
     /// Acquires a unique name of value `O(k)` w.h.p., where `k` is the
     /// number of threads actually calling.
     ///
@@ -328,6 +404,16 @@ impl<T: Tas> AdaptiveRebatching<T> {
     /// Total TAS locations across all objects.
     pub fn total_size(&self) -> usize {
         self.layout.total_size()
+    }
+
+    /// The system bound `n` the collection was provisioned for.
+    pub fn capacity(&self) -> usize {
+        self.layout.capacity()
+    }
+
+    /// The underlying slot array (shared).
+    pub fn slots(&self) -> &Arc<TasArray<T>> {
+        &self.slots
     }
 
     /// Builds a step machine over this collection's layout.
@@ -445,6 +531,50 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(names.len(), before, "duplicate names");
+    }
+
+    #[test]
+    fn capacity_reports_the_provisioned_bound_exactly() {
+        // Not the power-of-two rounding the collection is built from.
+        let object = AdaptiveRebatching::with_defaults(100, Epsilon::one()).expect("construct");
+        assert_eq!(object.capacity(), 100);
+        let s = ProbeSchedule::paper(Epsilon::one(), 3).unwrap();
+        assert_eq!(
+            AdaptiveLayout::with_max_index(8, s).unwrap().capacity(),
+            128
+        );
+    }
+
+    #[test]
+    fn release_and_reacquire_recycles_slots() {
+        let object = AdaptiveRebatching::with_defaults(64, Epsilon::one()).expect("construct");
+        assert_eq!(object.capacity(), 64);
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = object.get_name(&mut rng).expect("name");
+        let b = object.get_name(&mut rng).expect("name");
+        assert_ne!(a, b);
+        object.release_name(a);
+        let c = object.get_name(&mut rng).expect("name");
+        assert_ne!(c, b, "b is still held");
+        object.release_name(b);
+        object.release_name(c);
+        assert_eq!(object.slots().set_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn releasing_unheld_name_panics() {
+        let object = AdaptiveRebatching::with_defaults(64, Epsilon::one()).expect("construct");
+        object.release_name(renaming_sim::Name::new(0));
+    }
+
+    #[test]
+    fn from_parts_validates_slot_count() {
+        let layout = shared_layout(32);
+        let short: Arc<TasArray<AtomicTas>> = Arc::new(TasArray::new(4));
+        assert!(AdaptiveRebatching::from_parts(Arc::clone(&layout), short).is_err());
+        let enough: Arc<TasArray<AtomicTas>> = Arc::new(TasArray::new(layout.total_size()));
+        assert!(AdaptiveRebatching::from_parts(layout, enough).is_ok());
     }
 
     #[test]

@@ -37,6 +37,8 @@ use crate::{BatchLayout, ProbeSchedule, RenamingError};
 #[derive(Debug, Clone)]
 pub struct AdaptiveLayout {
     schedule: ProbeSchedule,
+    /// The system bound `n` the collection was provisioned for.
+    capacity: usize,
     /// `objects[idx]` is the layout of `R_(idx+1)`.
     objects: Vec<Arc<BatchLayout>>,
     /// `bases[idx]` is the global offset of `R_(idx+1)`; a final entry
@@ -61,11 +63,16 @@ impl AdaptiveLayout {
             });
         }
         let log2n = (capacity as f64).log2().ceil() as usize;
-        Self::with_max_index(log2n + 1, schedule)
+        let mut layout = Self::with_max_index(log2n + 1, schedule)?;
+        // with_max_index provisions for the power-of-two bound 2^(L-1);
+        // remember the exact n the caller asked for.
+        layout.capacity = capacity;
+        Ok(layout)
     }
 
     /// Builds the collection with an explicit top index `L` (paper index of
-    /// the largest object, `n_L = 2^L`).
+    /// the largest object, `n_L = 2^L`); the provisioned capacity is then
+    /// `2^(L-1)`.
     ///
     /// # Errors
     ///
@@ -95,6 +102,7 @@ impl AdaptiveLayout {
         }
         Ok(Self {
             schedule,
+            capacity: 1 << (max_index - 1),
             objects,
             bases,
             landmarks,
@@ -104,6 +112,13 @@ impl AdaptiveLayout {
     /// The probe schedule shared by every object.
     pub fn schedule(&self) -> &ProbeSchedule {
         &self.schedule
+    }
+
+    /// The system bound `n` the collection was provisioned for: the value
+    /// passed to [`for_capacity`](Self::for_capacity), or `2^(L-1)` when
+    /// built via [`with_max_index`](Self::with_max_index).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The top (largest) paper object index `L`.

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use rand::Rng;
 
 use renaming_sim::{Action, Name, Renamer};
-use renaming_tas::{Tas, TasArray};
+use renaming_tas::{ResettableTas, Tas, TasArray};
 
 use crate::RenamingError;
 
@@ -31,6 +31,27 @@ pub trait ResetMachine: Renamer {
     /// flips against the same memory produces the same outcome as a new
     /// machine would.
     fn reset(&mut self);
+}
+
+/// A machine that may win more TAS locations than the one name it
+/// returns.
+///
+/// The adaptive algorithms (§5) acquire a name per successful
+/// `GetName`/`TryGetName` along their race and search phases and keep
+/// only the smallest; the superseded wins stay *set* in shared memory.
+/// For the paper's one-shot objects that is the intended behaviour (the
+/// `O(k)` namespace bound counts them), but a long-lived service must
+/// return them to the namespace or every acquire leaks slots. Machines
+/// record the superseded locations here so [`drive_recycling`] can
+/// reopen them once the operation completes.
+pub trait AbandonedNames {
+    /// Locations won and then superseded during the current run.
+    fn abandoned(&self) -> &[usize] {
+        &[]
+    }
+
+    /// Forgets the recorded locations (after the caller recycled them).
+    fn clear_abandoned(&mut self) {}
 }
 
 /// A per-thread handle onto one concurrent renaming object that reuses
@@ -48,7 +69,12 @@ pub struct NameSession<M, T: Tas> {
 
 impl<M: ResetMachine, T: Tas> NameSession<M, T> {
     /// Builds a session from a machine and the object's shared slots.
-    pub(crate) fn new(machine: M, slots: Arc<TasArray<T>>) -> Self {
+    ///
+    /// Prefer the objects' `session()` constructors (e.g.
+    /// [`crate::Rebatching::session`]); this is public so other crates'
+    /// concurrent objects (baselines, the service front-end) can offer
+    /// sessions over their own machines.
+    pub fn new(machine: M, slots: Arc<TasArray<T>>) -> Self {
         Self { machine, slots }
     }
 
@@ -65,6 +91,45 @@ impl<M: ResetMachine, T: Tas> NameSession<M, T> {
         self.machine.reset();
         drive(&mut self.machine, &self.slots, rng)
     }
+}
+
+impl<M, T> NameSession<M, T>
+where
+    M: ResetMachine + AbandonedNames,
+    T: ResettableTas,
+{
+    /// Like [`get_name`](Self::get_name), but reopens any surplus TAS
+    /// wins the machine superseded along the way — the long-lived mode
+    /// for the adaptive algorithms (see [`AbandonedNames`]).
+    ///
+    /// # Errors
+    ///
+    /// As for the owning object's `get_name`.
+    pub fn get_name_recycling<R: Rng>(&mut self, rng: &mut R) -> Result<Name, RenamingError> {
+        self.machine.reset();
+        drive_recycling(&mut self.machine, &self.slots, rng)
+    }
+}
+
+/// Releases `name` into `slots`, with the ownership checks every
+/// concurrent renaming object's `release_name` shares: the name must lie
+/// in `0..namespace` and its slot must currently be set.
+///
+/// # Panics
+///
+/// Panics if `name` is outside the namespace or not currently held —
+/// both indicate a caller bug (releasing a name you do not own would
+/// silently break uniqueness for another holder).
+pub fn release_checked<T: ResettableTas>(slots: &TasArray<T>, namespace: usize, name: Name) {
+    assert!(
+        name.value() < namespace,
+        "name {name} outside the namespace 0..{namespace}"
+    );
+    // reset_slot keeps the array's O(1) win counter consistent.
+    assert!(
+        slots.reset_slot(name.value()),
+        "releasing name {name} that is not held"
+    );
 }
 
 /// Runs `machine` to completion against `slots`, drawing coins from `rng`.
@@ -106,6 +171,35 @@ where
             }
         }
     }
+}
+
+/// Runs `machine` to completion like [`drive`], then reopens every TAS
+/// location the machine won but superseded (see [`AbandonedNames`]) —
+/// the drive mode long-lived workloads want on resettable substrates.
+///
+/// # Errors
+///
+/// As for [`drive`].
+#[inline]
+pub fn drive_recycling<M, T, R>(
+    machine: &mut M,
+    slots: &TasArray<T>,
+    rng: &mut R,
+) -> Result<Name, RenamingError>
+where
+    M: Renamer + AbandonedNames + ?Sized,
+    T: ResettableTas,
+    R: Rng,
+{
+    let result = drive(machine, slots, rng);
+    for &location in machine.abandoned() {
+        // The machine won this location during the completed run and
+        // nobody else can have reset it, so the slot must still be set.
+        let was_set = slots.reset_slot(location);
+        debug_assert!(was_set, "abandoned location {location} was not set");
+    }
+    machine.clear_abandoned();
+    result
 }
 
 #[cfg(test)]

@@ -23,6 +23,13 @@ pub enum RenamingError {
         /// The namespace size of the object.
         namespace: usize,
     },
+    /// The object's TAS substrate cannot recycle names: `release` is only
+    /// available on resettable backends (see `renaming_tas::ResettableTas`).
+    /// The register-based tournament, for example, is one-shot.
+    ReleaseUnsupported {
+        /// The backend that rejected the release.
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for RenamingError {
@@ -38,6 +45,10 @@ impl fmt::Display for RenamingError {
             RenamingError::NamespaceExhausted { namespace } => write!(
                 f,
                 "all {namespace} names taken: more processes than the object's capacity"
+            ),
+            RenamingError::ReleaseUnsupported { backend } => write!(
+                f,
+                "the `{backend}` TAS backend is one-shot: it cannot recycle released names"
             ),
         }
     }
@@ -61,6 +72,9 @@ mod tests {
         assert!(RenamingError::NamespaceExhausted { namespace: 8 }
             .to_string()
             .contains('8'));
+        assert!(RenamingError::ReleaseUnsupported { backend: "tournament" }
+            .to_string()
+            .contains("tournament"));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use rand::{Rng, RngCore};
 
 use renaming_sim::{Action, MachineStats, Name, Renamer};
-use renaming_tas::{AtomicTas, Tas, TasArray};
+use renaming_tas::{AtomicTas, ResettableTas, Tas, TasArray};
 
 use crate::calls::{BatchCall, CallStatus, ObjectCall};
 use crate::driver;
@@ -88,6 +88,10 @@ pub struct FastAdaptiveMachine {
     /// Retired search-stack buffer, reused by the next `Search` chain so
     /// session-reused machines stop allocating one per chain.
     frame_pool: Vec<Frame>,
+    /// Locations won and then superseded by a smaller name (line 13
+    /// discards the incoming `u` when `TryGetName` succeeds); see
+    /// [`driver::AbandonedNames`].
+    abandoned: Vec<usize>,
     probes: u64,
     failed_calls: u64,
     objects_visited: u64,
@@ -113,6 +117,7 @@ impl FastAdaptiveMachine {
             layout,
             phase: Phase::Race { pos: 0, call },
             frame_pool: Vec::new(),
+            abandoned: Vec::new(),
             probes: 0,
             failed_calls: 0,
             objects_visited: 1,
@@ -249,11 +254,14 @@ impl FastAdaptiveMachine {
             CallStatus::Acquired(loc) => {
                 self.names_acquired += 1;
                 let name = Name::new(loc);
-                let Phase::Searching { sub, .. } = &mut self.phase else {
+                let Phase::Searching { frames, sub, .. } = &mut self.phase else {
                     unreachable!()
                 };
                 *sub = None;
-                // Line 13: return u'.
+                // Line 13: return u' — the activation's incoming u is
+                // discarded, its win superseded.
+                let superseded = frames.last().expect("probing frame").u;
+                self.abandoned.push(superseded.value());
                 self.unwind(name);
                 self.settle();
             }
@@ -286,6 +294,16 @@ impl FastAdaptiveMachine {
     }
 }
 
+impl driver::AbandonedNames for FastAdaptiveMachine {
+    fn abandoned(&self) -> &[usize] {
+        &self.abandoned
+    }
+
+    fn clear_abandoned(&mut self) {
+        self.abandoned.clear();
+    }
+}
+
 impl driver::ResetMachine for FastAdaptiveMachine {
     fn reset(&mut self) {
         // A reset mid-search (e.g. after a caller abandoned a drive)
@@ -295,10 +313,13 @@ impl driver::ResetMachine for FastAdaptiveMachine {
         }
         let mut pool = std::mem::take(&mut self.frame_pool);
         pool.clear();
+        let mut abandoned = std::mem::take(&mut self.abandoned);
+        abandoned.clear();
         // Delegate so the reset state is definitionally a fresh machine;
-        // only the recycled buffer survives.
+        // only the recycled buffers survive.
         *self = Self::new(Arc::clone(&self.layout));
         self.frame_pool = pool;
+        self.abandoned = abandoned;
     }
 }
 
@@ -498,7 +519,60 @@ impl FastAdaptiveRebatching<AtomicTas> {
     }
 }
 
+impl<T: ResettableTas> FastAdaptiveRebatching<T> {
+    /// Acquires a unique name like [`get_name`](Self::get_name), and
+    /// additionally reopens the surplus TAS wins the `Search` chains
+    /// superseded (Fig. 2 line 13 discards the incoming `u` whenever
+    /// `TryGetName` succeeds).
+    ///
+    /// Use this (and the sessions' `get_name_recycling`) for long-lived
+    /// workloads; the one-shot `get_name` leaves superseded wins set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`get_name`](Self::get_name).
+    pub fn get_name_recycling<R: Rng>(&self, rng: &mut R) -> Result<Name, RenamingError> {
+        let mut machine = FastAdaptiveMachine::new(Arc::clone(&self.layout));
+        driver::drive_recycling(&mut machine, &self.slots, rng)
+    }
+
+    /// Releases a previously acquired name, reopening its TAS slot for
+    /// future [`get_name`](Self::get_name) calls — the long-lived
+    /// extension, on any resettable TAS substrate.
+    ///
+    /// Uniqueness among concurrent holders is preserved exactly as for
+    /// [`crate::Rebatching::release_name`]; the `O(k log log k)` total
+    /// step bound of Theorem 5.2 is proven for the one-shot case only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is outside the collection's namespace or not
+    /// currently held — both indicate a caller bug.
+    pub fn release_name(&self, name: Name) {
+        driver::release_checked(&self.slots, self.total_size(), name);
+    }
+}
+
 impl<T: Tas> FastAdaptiveRebatching<T> {
+    /// Builds a collection over caller-provided TAS slots (e.g. counting
+    /// wrappers, or the register-based tournament via an adapter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::NamespaceExhausted`] if `slots` is smaller
+    /// than the layout's total size.
+    pub fn from_parts(
+        layout: Arc<AdaptiveLayout>,
+        slots: Arc<TasArray<T>>,
+    ) -> Result<Self, RenamingError> {
+        if slots.len() < layout.total_size() {
+            return Err(RenamingError::NamespaceExhausted {
+                namespace: layout.total_size(),
+            });
+        }
+        Ok(Self { layout, slots })
+    }
+
     /// Acquires a unique name of value `O(k)` w.h.p., where `k` is the
     /// number of threads actually calling.
     ///
@@ -519,6 +593,16 @@ impl<T: Tas> FastAdaptiveRebatching<T> {
     /// Total TAS locations across all objects.
     pub fn total_size(&self) -> usize {
         self.layout.total_size()
+    }
+
+    /// The system bound `n` the collection was provisioned for.
+    pub fn capacity(&self) -> usize {
+        self.layout.capacity()
+    }
+
+    /// The underlying slot array (shared).
+    pub fn slots(&self) -> &Arc<TasArray<T>> {
+        &self.slots
     }
 
     /// Builds a step machine over this collection's layout.
@@ -647,6 +731,31 @@ mod tests {
         assert_eq!(report.named_count(), 1);
         let name = report.max_name().unwrap().value();
         assert!(name < layout.object(1).namespace_size() + layout.object(2).namespace_size());
+    }
+
+    #[test]
+    fn release_and_reacquire_recycles_slots() {
+        let object = FastAdaptiveRebatching::with_defaults(64).expect("construct");
+        assert_eq!(object.capacity(), 64);
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = object.get_name(&mut rng).expect("name");
+        let b = object.get_name(&mut rng).expect("name");
+        assert_ne!(a, b);
+        object.release_name(a);
+        let c = object.get_name(&mut rng).expect("name");
+        assert_ne!(c, b, "b is still held");
+        object.release_name(b);
+        object.release_name(c);
+        assert_eq!(object.slots().set_count(), 0);
+    }
+
+    #[test]
+    fn from_parts_validates_slot_count() {
+        let layout = shared_layout(32);
+        let short: Arc<TasArray<AtomicTas>> = Arc::new(TasArray::new(4));
+        assert!(FastAdaptiveRebatching::from_parts(Arc::clone(&layout), short).is_err());
+        let enough: Arc<TasArray<AtomicTas>> = Arc::new(TasArray::new(layout.total_size()));
+        assert!(FastAdaptiveRebatching::from_parts(layout, enough).is_ok());
     }
 
     #[test]

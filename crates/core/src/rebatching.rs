@@ -6,7 +6,7 @@ use std::sync::Arc;
 use rand::{Rng, RngCore};
 
 use renaming_sim::{Action, MachineStats, Name, Renamer};
-use renaming_tas::{AtomicTas, Tas, TasArray};
+use renaming_tas::{AtomicTas, ResettableTas, Tas, TasArray};
 
 use crate::calls::{CallStatus, ObjectCall};
 use crate::driver;
@@ -39,6 +39,10 @@ impl RebatchingMachine {
         }
     }
 }
+
+/// ReBatching holds at most one win at a time, so nothing is ever
+/// superseded.
+impl driver::AbandonedNames for RebatchingMachine {}
 
 impl driver::ResetMachine for RebatchingMachine {
     fn reset(&mut self) {
@@ -160,36 +164,6 @@ impl Rebatching<AtomicTas> {
         Self::with_schedule(n, schedule)
     }
 
-    /// Releases a previously acquired name, making it available to future
-    /// [`get_name`](Self::get_name) calls — the *long-lived* renaming
-    /// extension the paper's conclusion (§7) points at.
-    ///
-    /// The `(1+ε)n` namespace and uniqueness guarantees continue to hold
-    /// as long as at most `n` names are held simultaneously: a release
-    /// simply reopens one TAS slot, and every acquire still wins a slot
-    /// exactly once between releases. The `log log n + O(1)` w.h.p. step
-    /// bound is proven only for the one-shot case; in steady state the
-    /// empirical behaviour matches (exercised in the test suite), but it
-    /// is not covered by Theorem 4.1.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `name` is outside the namespace or not currently held —
-    /// both indicate a caller bug (releasing a name you do not own would
-    /// silently break uniqueness for another holder).
-    pub fn release_name(&self, name: Name) {
-        assert!(
-            name.value() < self.namespace_size(),
-            "name {name} outside the namespace 0..{}",
-            self.namespace_size()
-        );
-        // reset_slot keeps the array's O(1) win counter consistent.
-        assert!(
-            self.slots.reset_slot(name.value()),
-            "releasing name {name} that is not held"
-        );
-    }
-
     /// Creates an object with the default `β = 3`.
     ///
     /// # Errors
@@ -209,6 +183,42 @@ impl Rebatching<AtomicTas> {
         let layout = BatchLayout::shared(n, schedule)?;
         let slots = Arc::new(TasArray::new(layout.namespace_size()));
         Ok(Self { layout, slots })
+    }
+}
+
+impl<T: ResettableTas> Rebatching<T> {
+    /// Acquires a unique name; identical to [`get_name`](Self::get_name)
+    /// (ReBatching never supersedes a win), provided so long-lived
+    /// callers can use one method name across all three algorithms.
+    ///
+    /// # Errors
+    ///
+    /// As for [`get_name`](Self::get_name).
+    pub fn get_name_recycling<R: Rng>(&self, rng: &mut R) -> Result<Name, RenamingError> {
+        let mut machine = RebatchingMachine::new(Arc::clone(&self.layout), 0);
+        driver::drive_recycling(&mut machine, &self.slots, rng)
+    }
+
+    /// Releases a previously acquired name, making it available to future
+    /// [`get_name`](Self::get_name) calls — the *long-lived* renaming
+    /// extension the paper's conclusion (§7) points at. Available on any
+    /// resettable TAS substrate (hardware atomics, counting wrappers).
+    ///
+    /// The `(1+ε)n` namespace and uniqueness guarantees continue to hold
+    /// as long as at most `n` names are held simultaneously: a release
+    /// simply reopens one TAS slot, and every acquire still wins a slot
+    /// exactly once between releases. The `log log n + O(1)` w.h.p. step
+    /// bound is proven only for the one-shot case; in steady state the
+    /// empirical behaviour matches (exercised in the test suite), but it
+    /// is not covered by Theorem 4.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is outside the namespace or not currently held —
+    /// both indicate a caller bug (releasing a name you do not own would
+    /// silently break uniqueness for another holder).
+    pub fn release_name(&self, name: Name) {
+        driver::release_checked(&self.slots, self.namespace_size(), name);
     }
 }
 

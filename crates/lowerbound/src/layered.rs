@@ -12,6 +12,14 @@
 //! This module realizes that construction executably: Poissonized
 //! instances, per-layer grouping, coupled mark draws, and the exact
 //! analytic rate system evolving alongside.
+//!
+//! The per-location mark draws inside a layer are independent, so each
+//! location draws from its own RNG stream derived from
+//! `(seed, layer, location)` alone. That makes the simulation **shardable**
+//! ([`run_marking_sharded`] fans the location groups out over any worker
+//! pool with bit-identical results) and deterministic across runs — the
+//! grouping used to iterate a `HashMap`, whose random iteration order
+//! leaked into the draws.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -46,6 +54,19 @@ pub struct LayerOutcome {
     pub lambda: f64,
 }
 
+/// The RNG stream of one location's coupled draw: a function of the
+/// seed, the layer and the location only, so the draw is independent of
+/// grouping order, worker assignment and thread count.
+fn location_rng(seed: u64, layer: usize, location: usize) -> StdRng {
+    // SplitMix64-style mix of the three coordinates.
+    let mut z = seed
+        ^ (layer as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (location as u64 + 1).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
 /// Runs the marking simulation over the given type table.
 ///
 /// The table's length is the number of *types* `M'` (the proof uses
@@ -57,10 +78,39 @@ pub struct LayerOutcome {
 /// Returns one outcome per layer boundary, starting with layer 0 (the
 /// initial Poissonized population of expected size `n/2`).
 ///
+/// Equivalent to [`run_marking_sharded`] with a serial mapper — the two
+/// produce bit-identical outcomes for the same inputs.
+///
 /// # Panics
 ///
 /// Panics if the type table is empty or shorter than `config.layers`.
 pub fn run_marking(config: MarkingConfig, types: &TypeTable) -> Vec<LayerOutcome> {
+    run_marking_sharded(config, types, |count, survivors_at| {
+        (0..count).map(survivors_at).collect()
+    })
+}
+
+/// [`run_marking`] with the per-layer location groups fanned out through
+/// a caller-supplied mapper (e.g. a worker pool).
+///
+/// `shard(count, survivors_at)` must return
+/// `(0..count).map(survivors_at)` in index order; the groups are
+/// independent, so the mapper may evaluate them on any threads in any
+/// order. Every location draws from its own RNG stream derived from
+/// `(seed, layer, location)`, so the outcome is a pure function of the
+/// config and the type table — byte-identical at any worker count.
+///
+/// # Panics
+///
+/// Panics if the type table is empty or shorter than `config.layers`.
+pub fn run_marking_sharded<F>(
+    config: MarkingConfig,
+    types: &TypeTable,
+    mut shard: F,
+) -> Vec<LayerOutcome>
+where
+    F: FnMut(usize, &(dyn Fn(usize) -> Vec<usize> + Sync)) -> Vec<Vec<usize>>,
+{
     assert!(!types.is_empty(), "need at least one type");
     assert!(
         types.iter().all(|t| t.len() >= config.layers),
@@ -89,26 +139,41 @@ pub fn run_marking(config: MarkingConfig, types: &TypeTable) -> Vec<LayerOutcome
         let loc_rates = rates.location_rates(&locations, config.s);
 
         // Group the marked instances by the location their type probes.
-        let mut by_location: std::collections::HashMap<usize, Vec<usize>> =
+        // Instances keep their arrival order within a group, and groups
+        // are sorted by location — fully deterministic, independent of
+        // hash iteration order (the map is only used for indexing).
+        let mut group_of: std::collections::HashMap<usize, usize> =
             std::collections::HashMap::new();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for &type_idx in &marked {
-            by_location
-                .entry(locations[type_idx])
-                .or_default()
-                .push(type_idx);
+            let loc = locations[type_idx];
+            let g = *group_of.entry(loc).or_insert_with(|| {
+                groups.push((loc, Vec::new()));
+                groups.len() - 1
+            });
+            groups[g].1.push(type_idx);
         }
+        groups.sort_unstable_by_key(|&(loc, _)| loc);
 
-        // Coupled mark draws per location; survivors are a uniform subset
-        // (the "last Y in a random permutation" of exchangeable arrivals).
-        let mut survivors = Vec::new();
-        for (loc, mut instances) in by_location {
+        // Coupled mark draws per location, each on its own (seed, layer,
+        // location) RNG stream; survivors are a uniform subset (the "last
+        // Y in a random permutation" of exchangeable arrivals). The
+        // groups are independent — fan them out.
+        let survivors_at = |g: usize| -> Vec<usize> {
+            let (loc, instances) = &groups[g];
+            let mut rng = location_rng(config.seed, layer, *loc);
             let z = instances.len() as u64;
-            let coupling = CoupledPoisson::new(loc_rates[loc]);
+            let coupling = CoupledPoisson::new(loc_rates[*loc]);
             let y = coupling.sample_marks_given(z, &mut rng) as usize;
+            let mut instances = instances.clone();
             instances.shuffle(&mut rng);
-            survivors.extend(instances.into_iter().take(y));
-        }
-        marked = survivors;
+            instances.truncate(y);
+            instances
+        };
+        marked = shard(groups.len(), &survivors_at)
+            .into_iter()
+            .flatten()
+            .collect();
 
         // Advance the analytic rates in lockstep.
         let lambda = rates.step(&locations, config.s);
@@ -223,6 +288,44 @@ mod tests {
         ];
         assert_eq!(extinction_layer(&outcomes), Some(1));
         assert_eq!(extinction_layer(&outcomes[..1]), None);
+    }
+
+    #[test]
+    fn sharded_and_serial_runs_are_identical() {
+        let n = 1 << 10;
+        let s = 2 * n;
+        let types = uniform_types(2 * n, s, 6, 9);
+        let cfg = config(n, s, 6, 10);
+        let serial = run_marking(cfg, &types);
+        // Evaluate groups in reverse and in rayon-less "striped" order:
+        // the outcome may not depend on evaluation order.
+        let reversed = run_marking_sharded(cfg, &types, |count, f| {
+            let mut out: Vec<Vec<usize>> = (0..count).rev().map(f).collect();
+            out.reverse();
+            out
+        });
+        let striped = run_marking_sharded(cfg, &types, |count, f| {
+            let mut out: Vec<Option<Vec<usize>>> = vec![None; count];
+            for start in 0..4 {
+                for g in (start..count).step_by(4) {
+                    out[g] = Some(f(g));
+                }
+            }
+            out.into_iter().map(|v| v.expect("covered")).collect()
+        });
+        assert_eq!(serial, reversed, "evaluation order changed the outcome");
+        assert_eq!(serial, striped, "striping changed the outcome");
+    }
+
+    #[test]
+    fn runs_are_reproducible_across_invocations() {
+        // The HashMap-grouped implementation drew coins in hash-iteration
+        // order, which varies per process; the per-location streams must
+        // not.
+        let types = uniform_types(512, 256, 5, 3);
+        let a = run_marking(config(256, 256, 5, 8), &types);
+        let b = run_marking(config(256, 256, 5, 8), &types);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub mod types;
 
 pub use coupling::{coupled_rate, verify_lemma_6_5, CoupledPoisson};
 pub use gamma::{ln_factorial, ln_gamma};
-pub use layered::{extinction_layer, run_marking, LayerOutcome, MarkingConfig};
+pub use layered::{
+    extinction_layer, run_marking, run_marking_sharded, LayerOutcome, MarkingConfig,
+};
 pub use poisson::Poisson;
 pub use rates::{lemma_6_6_bound, predicted_layers, uniform_extinction_layers, RateSystem};

@@ -1,0 +1,107 @@
+//! RAII ownership of an acquired name.
+
+use std::fmt;
+use std::ops::Deref;
+
+use renaming_core::{Name, RenamingError};
+
+use crate::NameService;
+
+/// Owned access to one acquired name; the name is released back to the
+/// service when the guard drops.
+///
+/// Obtained from [`NameService::acquire`]. While the guard lives, no
+/// other thread can hold the same name — that is the renaming
+/// guarantee — so the value can be used as a dense slot index into
+/// shared arrays (announcement tables, striped counters, ...).
+///
+/// On a backend without release support (see
+/// [`NameService::supports_release`]) dropping the guard leaks the name
+/// by design: the slot stays taken for the service's lifetime. Call
+/// [`release`](Self::release) instead of dropping to observe that
+/// outcome explicitly.
+#[must_use = "dropping the guard immediately releases the name"]
+pub struct NameGuard<'s> {
+    service: &'s NameService,
+    name: Name,
+    armed: bool,
+}
+
+impl<'s> NameGuard<'s> {
+    pub(crate) fn new(service: &'s NameService, name: Name) -> Self {
+        Self {
+            service,
+            name,
+            armed: true,
+        }
+    }
+
+    /// The held name.
+    pub fn name(&self) -> Name {
+        self.name
+    }
+
+    /// The held name's integer value (always `< namespace_size`).
+    pub fn value(&self) -> usize {
+        self.name.value()
+    }
+
+    /// The service this guard belongs to.
+    pub fn service(&self) -> &'s NameService {
+        self.service
+    }
+
+    /// Releases the name now, surfacing the backend's answer (drop
+    /// swallows it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::ReleaseUnsupported`] on one-shot
+    /// backends; the name stays taken.
+    pub fn release(mut self) -> Result<(), RenamingError> {
+        self.armed = false;
+        self.service.release_name(self.name)
+    }
+
+    /// Detaches the name from the guard **without** releasing it. The
+    /// caller takes over ownership and is responsible for an eventual
+    /// [`NameService::release_name`].
+    pub fn into_name(mut self) -> Name {
+        self.armed = false;
+        self.name
+    }
+}
+
+impl Deref for NameGuard<'_> {
+    type Target = Name;
+
+    fn deref(&self) -> &Name {
+        &self.name
+    }
+}
+
+impl Drop for NameGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            // One-shot backends reject the release; leaking the slot is
+            // the documented drop behaviour there.
+            let _ = self.service.release_name(self.name);
+        }
+    }
+}
+
+impl fmt::Debug for NameGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NameGuard")
+            .field("name", &self.name)
+            .field("algorithm", &self.service.algorithm())
+            .finish()
+    }
+}
+
+impl fmt::Display for NameGuard<'_> {
+    /// Forwards to the name, so guards drop into format strings.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.name, f)
+    }
+}

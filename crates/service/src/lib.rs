@@ -1,0 +1,62 @@
+//! A unified, thread-safe **acquire/release** front-end over every
+//! renaming algorithm in the workspace.
+//!
+//! The paper's objects are long-lived loose-renaming primitives, but
+//! their raw APIs are simulation-shaped: per-algorithm `get_name`
+//! methods, hand-managed per-thread sessions and RNGs. This crate turns
+//! them into one ergonomic service, the way practical renaming
+//! front-ends (cf. the LevelArray line of work) expose the primitive:
+//!
+//! * [`Namespace`] — the interchangeable-backend trait (`acquire`,
+//!   `release`, `namespace_size`, `capacity`), implemented by
+//!   `Rebatching`, `AdaptiveRebatching`, `FastAdaptiveRebatching` and
+//!   all four baselines, over hardware atomics **and** the
+//!   register-based tournament substrate;
+//! * [`NameGuard`] — RAII ownership of an acquired name: drop it and
+//!   the name is recycled;
+//! * [`NameService`] — the thread-safe front-end, built via
+//!   [`NameServiceBuilder`]: internal per-worker session pooling and
+//!   [`renaming_core::FastRng`] streams, so callers just write
+//!   `let guard = service.acquire()?` from any thread.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use renaming_service::{Algorithm, NameService, SeedPolicy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = NameService::builder(Algorithm::Rebatching, 64)
+//!     .seed_policy(SeedPolicy::Fixed(42))
+//!     .build()?;
+//!
+//! std::thread::scope(|scope| {
+//!     for _ in 0..8 {
+//!         scope.spawn(|| {
+//!             let guard = service.acquire().expect("within capacity");
+//!             // `guard.value()` is a dense id unique among live guards.
+//!             assert!(guard.value() < service.namespace_size());
+//!             // dropped here -> name recycled
+//!         });
+//!     }
+//! });
+//! assert_eq!(service.held(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod builder;
+mod guard;
+mod namespace;
+mod service;
+
+pub use builder::{Algorithm, NameServiceBuilder, TasBackend};
+pub use guard::NameGuard;
+pub use namespace::{CountingSlot, Namespace, PooledSession, ServiceBackend, TournamentSlot};
+pub use service::{NameService, SeedPolicy};
+
+// Re-export the vocabulary types a service caller needs, so depending on
+// `renaming-core` directly is optional.
+pub use renaming_core::{Epsilon, Name, RenamingError};

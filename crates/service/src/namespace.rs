@@ -1,0 +1,293 @@
+//! The [`Namespace`] abstraction: one acquire/release surface over every
+//! renaming backend in the workspace.
+
+use rand::RngCore;
+
+use renaming_baselines::{
+    DoublingRenaming, LinearScanRenaming, SingleBatchRenaming, UniformRenaming,
+};
+use renaming_core::driver::NameSession;
+use renaming_core::{
+    AbandonedNames, AdaptiveRebatching, FastAdaptiveRebatching, Name, Rebatching, RenamingError,
+    ResetMachine,
+};
+use renaming_tas::rwtas::TournamentTas;
+use renaming_tas::{AtomicTas, CountingTas, ResettableTas, Tas, TicketTas};
+
+/// The TAS slot type of the register-based tournament backend: a
+/// [`TournamentTas`] per name, adapted to the anonymous [`Tas`] interface
+/// by ticketing.
+pub type TournamentSlot = TicketTas<TournamentTas>;
+
+/// An instrumented atomic slot: hardware TAS behind an operation counter,
+/// for measuring real steps-per-acquire through the service (build such
+/// backends with the objects' `from_parts` constructors and
+/// [`crate::NameService::with_backend`]).
+pub type CountingSlot = CountingTas<AtomicTas>;
+
+/// A long-lived loose-renaming object: a shared namespace `0..m` from
+/// which threads acquire unique names and (on recyclable backends)
+/// release them again.
+///
+/// This is the interchangeable-backend trait of the `renaming-service`
+/// crate: the paper's three algorithms and all four baselines implement
+/// it over hardware atomics, and acquire-only over the register-based
+/// tournament substrate. Object-safe, so heterogeneous backends can sit
+/// behind `Arc<dyn Namespace>`.
+///
+/// # Contract
+///
+/// * `acquire` returns a name no other thread currently holds; at most
+///   [`capacity`](Self::capacity) names may be held simultaneously.
+/// * `release` on a [`supports_release`](Self::supports_release) backend
+///   makes the name available to future acquires. Releasing a name that
+///   is not held is a caller bug and may panic.
+/// * `namespace_size` bounds every returned name: `name < m`.
+pub trait Namespace: Send + Sync {
+    /// Acquires a unique name, drawing coins from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::NamespaceExhausted`] when more names are
+    /// requested than the backend can hold.
+    fn acquire(&self, rng: &mut dyn RngCore) -> Result<Name, RenamingError>;
+
+    /// Releases a held name, reopening its slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::ReleaseUnsupported`] on one-shot
+    /// backends (the register-based tournament).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `name` is outside the namespace or not currently
+    /// held — both are caller bugs.
+    fn release(&self, name: Name) -> Result<(), RenamingError>;
+
+    /// The namespace size `m`: every acquired name is in `0..m`.
+    fn namespace_size(&self) -> usize;
+
+    /// The maximum number of simultaneously held names the backend is
+    /// provisioned for (the paper's `n`).
+    fn capacity(&self) -> usize;
+
+    /// Names currently held (an O(1) relaxed counter; advisory under
+    /// concurrency).
+    fn held(&self) -> usize;
+
+    /// A short label of the backing algorithm (e.g. `"rebatching"`).
+    fn algorithm(&self) -> &'static str;
+
+    /// Whether [`release`](Self::release) recycles names on this backend.
+    fn supports_release(&self) -> bool;
+}
+
+/// A pooled per-worker acquisition handle: one reusable machine bound to
+/// the backend's shared slots.
+///
+/// [`crate::NameService`] keeps a pool of these so steady-state acquires
+/// construct no machine (and touch no `Arc` refcounts). Implemented by
+/// [`NameSession`] for every machine/backend combination.
+pub trait PooledSession: Send {
+    /// Acquires a unique name, reusing this session's machine.
+    ///
+    /// # Errors
+    ///
+    /// As for the owning backend's [`Namespace::acquire`].
+    fn acquire(&mut self, rng: &mut dyn RngCore) -> Result<Name, RenamingError>;
+}
+
+impl<M, T> PooledSession for NameSession<M, T>
+where
+    M: ResetMachine + Send,
+    T: Tas,
+{
+    fn acquire(&mut self, mut rng: &mut dyn RngCore) -> Result<Name, RenamingError> {
+        self.get_name(&mut rng)
+    }
+}
+
+/// A pooled session over a resettable substrate: acquires recycle the
+/// surplus TAS wins the adaptive machines supersede (see
+/// [`renaming_core::AbandonedNames`]), so long-lived churn leaks no
+/// slots.
+struct RecyclingSession<M, T>(NameSession<M, T>)
+where
+    M: ResetMachine + AbandonedNames + Send,
+    T: ResettableTas;
+
+impl<M, T> PooledSession for RecyclingSession<M, T>
+where
+    M: ResetMachine + AbandonedNames + Send,
+    T: ResettableTas,
+{
+    fn acquire(&mut self, mut rng: &mut dyn RngCore) -> Result<Name, RenamingError> {
+        self.0.get_name_recycling(&mut rng)
+    }
+}
+
+/// A [`Namespace`] that can open [`PooledSession`]s — everything
+/// [`crate::NameService`] needs from a backend.
+pub trait ServiceBackend: Namespace {
+    /// Opens a fresh session over this backend's shared slots.
+    fn open_session(&self) -> Box<dyn PooledSession>;
+}
+
+/// Implements `Namespace` + `ServiceBackend` for a concrete object type.
+///
+/// `release` (resettable backends): releases go to the object's
+/// `release_name`, and acquires run in recycling mode so the adaptive
+/// algorithms' superseded search wins return to the namespace.
+///
+/// `one_shot` (the tournament substrate, whose decision is spread over a
+/// register tree that cannot be reset while late losers may still be
+/// walking it): releases return `ReleaseUnsupported`, and acquires keep
+/// the paper's one-shot accounting.
+macro_rules! impl_namespace {
+    ($ty:ty, $label:literal, $size:ident, release) => {
+        impl ServiceBackend for $ty {
+            fn open_session(&self) -> Box<dyn PooledSession> {
+                Box::new(RecyclingSession(self.session()))
+            }
+        }
+
+        impl Namespace for $ty {
+            impl_namespace!(@shared $label, $size, get_name_recycling);
+
+            fn release(&self, name: Name) -> Result<(), RenamingError> {
+                self.release_name(name);
+                Ok(())
+            }
+
+            fn supports_release(&self) -> bool {
+                true
+            }
+        }
+    };
+    ($ty:ty, $label:literal, $size:ident, one_shot) => {
+        impl ServiceBackend for $ty {
+            fn open_session(&self) -> Box<dyn PooledSession> {
+                Box::new(self.session())
+            }
+        }
+
+        impl Namespace for $ty {
+            impl_namespace!(@shared $label, $size, get_name);
+
+            fn release(&self, _name: Name) -> Result<(), RenamingError> {
+                Err(RenamingError::ReleaseUnsupported {
+                    backend: "tournament",
+                })
+            }
+
+            fn supports_release(&self) -> bool {
+                false
+            }
+        }
+    };
+    (@shared $label:literal, $size:ident, $acquire:ident) => {
+        fn acquire(&self, mut rng: &mut dyn RngCore) -> Result<Name, RenamingError> {
+            self.$acquire(&mut rng)
+        }
+
+        fn namespace_size(&self) -> usize {
+            self.$size()
+        }
+
+        fn capacity(&self) -> usize {
+            self.capacity()
+        }
+
+        fn held(&self) -> usize {
+            self.slots().set_count()
+        }
+
+        fn algorithm(&self) -> &'static str {
+            $label
+        }
+    };
+}
+
+impl_namespace!(Rebatching<AtomicTas>, "rebatching", namespace_size, release);
+impl_namespace!(AdaptiveRebatching<AtomicTas>, "adaptive-rebatching", total_size, release);
+impl_namespace!(FastAdaptiveRebatching<AtomicTas>, "fast-adaptive-rebatching", total_size, release);
+impl_namespace!(UniformRenaming<AtomicTas>, "uniform", namespace_size, release);
+impl_namespace!(LinearScanRenaming<AtomicTas>, "linear-scan", namespace_size, release);
+impl_namespace!(SingleBatchRenaming<AtomicTas>, "single-batch", namespace_size, release);
+impl_namespace!(DoublingRenaming<AtomicTas>, "doubling-uniform", namespace_size, release);
+
+impl_namespace!(Rebatching<CountingSlot>, "rebatching", namespace_size, release);
+impl_namespace!(AdaptiveRebatching<CountingSlot>, "adaptive-rebatching", total_size, release);
+impl_namespace!(FastAdaptiveRebatching<CountingSlot>, "fast-adaptive-rebatching", total_size, release);
+
+impl_namespace!(Rebatching<TournamentSlot>, "rebatching", namespace_size, one_shot);
+impl_namespace!(AdaptiveRebatching<TournamentSlot>, "adaptive-rebatching", total_size, one_shot);
+impl_namespace!(FastAdaptiveRebatching<TournamentSlot>, "fast-adaptive-rebatching", total_size, one_shot);
+impl_namespace!(UniformRenaming<TournamentSlot>, "uniform", namespace_size, one_shot);
+impl_namespace!(LinearScanRenaming<TournamentSlot>, "linear-scan", namespace_size, one_shot);
+impl_namespace!(SingleBatchRenaming<TournamentSlot>, "single-batch", namespace_size, one_shot);
+impl_namespace!(DoublingRenaming<TournamentSlot>, "doubling-uniform", namespace_size, one_shot);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use renaming_core::Epsilon;
+
+    #[test]
+    fn trait_objects_acquire_and_release() {
+        let object = Rebatching::with_defaults(16, Epsilon::one()).expect("construct");
+        let ns: &dyn Namespace = &object;
+        let mut rng = StdRng::seed_from_u64(1);
+        let name = ns.acquire(&mut rng).expect("name");
+        assert!(name.value() < ns.namespace_size());
+        assert_eq!(ns.held(), 1);
+        assert!(ns.supports_release());
+        ns.release(name).expect("release");
+        assert_eq!(ns.held(), 0);
+        assert_eq!(ns.algorithm(), "rebatching");
+        assert_eq!(ns.capacity(), 16);
+    }
+
+    #[test]
+    fn every_atomic_backend_exposes_the_namespace_contract() {
+        let backends: Vec<Box<dyn Namespace>> = vec![
+            Box::new(Rebatching::with_defaults(8, Epsilon::one()).expect("rebatching")),
+            Box::new(AdaptiveRebatching::with_defaults(8, Epsilon::one()).expect("adaptive")),
+            Box::new(FastAdaptiveRebatching::with_defaults(8).expect("fast-adaptive")),
+            Box::new(UniformRenaming::new(8)),
+            Box::new(LinearScanRenaming::new(8)),
+            Box::new(SingleBatchRenaming::new(8)),
+            Box::new(DoublingRenaming::new(8)),
+        ];
+        let mut rng = StdRng::seed_from_u64(7);
+        for ns in &backends {
+            let label = ns.algorithm();
+            let a = ns.acquire(&mut rng).unwrap_or_else(|e| panic!("{label}: {e}"));
+            let b = ns.acquire(&mut rng).unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_ne!(a, b, "{label}");
+            assert!(a.value() < ns.namespace_size(), "{label}");
+            assert!(b.value() < ns.namespace_size(), "{label}");
+            assert_eq!(ns.held(), 2, "{label}");
+            ns.release(a).expect(label);
+            ns.release(b).expect(label);
+            assert_eq!(ns.held(), 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn pooled_sessions_match_backend_acquires() {
+        let object = Rebatching::with_defaults(8, Epsilon::one()).expect("construct");
+        let twin = Rebatching::with_defaults(8, Epsilon::one()).expect("construct");
+        let mut session = ServiceBackend::open_session(&twin);
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        for _ in 0..8 {
+            let direct = Namespace::acquire(&object, &mut rng_a).expect("direct");
+            let pooled = session.acquire(&mut rng_b).expect("pooled");
+            assert_eq!(direct, pooled);
+        }
+    }
+}

@@ -62,6 +62,11 @@ impl<T: Tas> CountingTas<T> {
         self.read_ops.store(0, Ordering::Relaxed);
     }
 
+    /// Borrows the wrapped TAS object.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
     /// Consumes the wrapper, returning the wrapped TAS object.
     pub fn into_inner(self) -> T {
         self.inner

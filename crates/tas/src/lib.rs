@@ -103,6 +103,42 @@ pub trait Tas: Send + Sync {
     fn is_set(&self) -> bool;
 }
 
+/// A test-and-set object that can be returned to the unset state.
+///
+/// This is the substrate of *long-lived* renaming (the extension the
+/// paper's §7 conclusion points at): releasing a name resets its TAS
+/// slot, so a later acquire can win it again. The caller must guarantee
+/// quiescence on the object being reset — in the renaming crates that is
+/// the holder of the corresponding name, and nobody else may reset it.
+///
+/// Not every [`Tas`] can support this: the register-based tournament in
+/// [`rwtas`] spreads its decision over a tree of two-process objects, and
+/// resetting them while a late loser is still walking the tree could
+/// elect a second winner. Hence reset is a separate capability rather
+/// than part of [`Tas`].
+pub trait ResettableTas: Tas {
+    /// Resets the object to the unset (not yet won) state.
+    ///
+    /// The caller must own the object's win (hold the corresponding
+    /// name); concurrent `test_and_set` calls remain safe — they either
+    /// observe the set state before the reset or race for the reopened
+    /// object after it, and in both cases at most one caller per
+    /// set-reset epoch wins.
+    fn reset(&self);
+}
+
+impl ResettableTas for AtomicTas {
+    fn reset(&self) {
+        AtomicTas::reset(self);
+    }
+}
+
+impl<T: ResettableTas> ResettableTas for CountingTas<T> {
+    fn reset(&self) {
+        self.inner().reset();
+    }
+}
+
 /// A test-and-set object that needs to know the caller's identity.
 ///
 /// The register-based [`rwtas::TournamentTas`] routes each contender through
@@ -152,6 +188,16 @@ mod tests {
         assert!(t.test_and_set_as(7).won());
         assert!(t.test_and_set_as(7).lost());
         assert!(IdTas::is_set(&t));
+    }
+
+    #[test]
+    fn resettable_tas_reopens_through_wrappers() {
+        let t = CountingTas::new(AtomicTas::new());
+        assert!(t.test_and_set().won());
+        ResettableTas::reset(&t);
+        assert!(!Tas::is_set(&t));
+        assert!(t.test_and_set().won());
+        assert_eq!(t.tas_ops(), 2);
     }
 
     #[test]

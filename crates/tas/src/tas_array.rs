@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
-use crate::{AtomicTas, Tas, TasResult};
+use crate::{ResettableTas, Tas, TasResult};
 
 /// A fixed-size array of TAS objects, one per candidate name.
 ///
@@ -123,10 +123,10 @@ impl<T: Tas> TasArray<T> {
     }
 }
 
-impl TasArray<AtomicTas> {
+impl<T: ResettableTas> TasArray<T> {
     /// Resets every slot to the unset state.
     ///
-    /// The caller must guarantee quiescence; see [`AtomicTas::reset`].
+    /// The caller must guarantee quiescence; see [`ResettableTas::reset`].
     pub fn reset_all(&self) {
         for s in self.slots.iter() {
             s.reset();
@@ -168,6 +168,7 @@ impl<T: Tas> fmt::Debug for TasArray<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::AtomicTas;
     use std::sync::Arc;
 
     #[test]

@@ -12,7 +12,8 @@
 
 use std::sync::Arc;
 
-use loose_renaming::core::{BatchLayout, Epsilon, ProbeSchedule, RebatchingMachine};
+use loose_renaming::core::{BatchLayout, ProbeSchedule, RebatchingMachine};
+use loose_renaming::prelude::*;
 use loose_renaming::sim::adversary::all_strategies;
 use loose_renaming::sim::{Execution, Renamer};
 
@@ -52,6 +53,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\neven the collision-seeking and starving adversaries cannot push any process\n\
          past the probe budget — that is Theorem 4.1 at work."
+    );
+
+    // The very same machines power the concurrent front-end: what the
+    // simulator schedules step-by-step above, `NameService` drives against
+    // real atomics below.
+    let service = NameService::builder(Algorithm::Rebatching, n)
+        .seed_policy(SeedPolicy::Fixed(7))
+        .build()?;
+    let guard = service.acquire()?;
+    println!(
+        "(same machines, real hardware: NameService handed this thread name {} of {})",
+        guard.value(),
+        service.namespace_size()
     );
     Ok(())
 }

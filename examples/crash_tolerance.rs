@@ -10,7 +10,8 @@
 
 use std::sync::Arc;
 
-use loose_renaming::core::{BatchLayout, Epsilon, ProbeSchedule, RebatchingMachine};
+use loose_renaming::core::{BatchLayout, ProbeSchedule, RebatchingMachine};
+use loose_renaming::prelude::*;
 use loose_renaming::sim::adversary::UniformRandom;
 use loose_renaming::sim::{CrashPlan, Execution, Renamer};
 
@@ -46,5 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(report.stuck_count(), 0);
     }
     println!("\ncrashed processes stop mid-protocol; nobody inherits or duplicates their names.");
+
+    // The concurrent analogue of a crash is a thread that acquires and
+    // never releases: `NameGuard::into_name` leaks the slot exactly like a
+    // crashed holder would, and the survivors keep renaming around it.
+    let service = NameService::builder(Algorithm::Rebatching, 8)
+        .seed_policy(SeedPolicy::Fixed(3))
+        .build()?;
+    let crashed = service.acquire()?.into_name(); // never released
+    for _ in 0..20 {
+        let survivor = service.acquire()?;
+        assert_ne!(survivor.value(), crashed.value());
+    }
+    assert_eq!(service.held(), 1, "only the 'crashed' slot stays taken");
+    println!(
+        "(service analogue: a leaked guard pins name {crashed}; 20 later acquisitions \
+         renamed around it)"
+    );
     Ok(())
 }

@@ -1,63 +1,61 @@
 //! Long-lived renaming (§7 extension): names are acquired, used, released
-//! and recycled.
+//! and recycled — through RAII [`NameGuard`]s.
 //!
 //! A worker pool where at most `n` workers are active simultaneously, but
-//! workers come and go: each activation acquires a dense slot id and
-//! releases it on exit. The `(1+ε)n` namespace is reused indefinitely.
+//! workers come and go: each activation holds a guard on a dense slot id
+//! and recycles it by dropping. The `(1+ε)n` namespace is reused
+//! indefinitely.
 //!
 //! ```text
 //! cargo run --release --example long_lived_slots
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
-use loose_renaming::core::{Epsilon, Rebatching};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use loose_renaming::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_active = 8;
-    let object = Arc::new(Rebatching::with_defaults(max_active, Epsilon::one())?);
+    let service = NameService::builder(Algorithm::Rebatching, max_active)
+        .seed_policy(SeedPolicy::Fixed(1))
+        .build()?;
     let sessions_per_worker = 100;
-    let peak_held = Arc::new(AtomicUsize::new(0));
-    let held_now = Arc::new(AtomicUsize::new(0));
+    let peak_held = AtomicUsize::new(0);
+    let held_now = AtomicUsize::new(0);
 
-    let handles: Vec<_> = (0..max_active)
-        .map(|w| {
-            let object = Arc::clone(&object);
-            let peak = Arc::clone(&peak_held);
-            let held = Arc::clone(&held_now);
-            std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(w as u64);
-                let mut slots_seen = std::collections::HashSet::new();
-                for _ in 0..sessions_per_worker {
-                    // Activate: acquire a slot.
-                    let name = object.get_name(&mut rng).expect("within capacity");
-                    let now = held.fetch_add(1, Ordering::SeqCst) + 1;
-                    peak.fetch_max(now, Ordering::SeqCst);
-                    slots_seen.insert(name.value());
-                    // ... do work under the dense id ...
-                    std::hint::spin_loop();
-                    // Deactivate: recycle the slot.
-                    held.fetch_sub(1, Ordering::SeqCst);
-                    object.release_name(name);
-                }
-                slots_seen.len()
+    let distinct_per_worker: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..max_active)
+            .map(|_| {
+                let (service, peak, held) = (&service, &peak_held, &held_now);
+                scope.spawn(move || {
+                    let mut slots_seen = std::collections::HashSet::new();
+                    for _ in 0..sessions_per_worker {
+                        // Activate: acquire a slot.
+                        let guard = service.acquire().expect("within capacity");
+                        let now = held.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        slots_seen.insert(guard.value());
+                        // ... do work under the dense id ...
+                        std::hint::spin_loop();
+                        // Deactivate: dropping the guard recycles the slot.
+                        held.fetch_sub(1, Ordering::SeqCst);
+                        drop(guard);
+                    }
+                    slots_seen.len()
+                })
             })
-        })
-        .collect();
-
-    let distinct_per_worker: Vec<usize> = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker panicked"))
-        .collect();
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     println!(
         "{} workers x {} sessions each, namespace {} slots",
         max_active,
         sessions_per_worker,
-        object.namespace_size()
+        service.namespace_size()
     );
     println!(
         "peak concurrently-held slots: {} (bound {})",
@@ -67,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (w, distinct) in distinct_per_worker.iter().enumerate() {
         println!("  worker {w}: saw {distinct} distinct slot ids over its sessions");
     }
-    assert_eq!(object.slots().set_count(), 0, "everything released");
-    println!("\nall {} acquisitions stayed unique-while-held; all slots recycled", max_active * sessions_per_worker);
+    assert_eq!(service.held(), 0, "everything released");
+    println!(
+        "\nall {} acquisitions stayed unique-while-held; all slots recycled by guard drop",
+        max_active * sessions_per_worker
+    );
     Ok(())
 }

@@ -1,55 +1,80 @@
-//! Quickstart: 32 threads pick unique names from a namespace of 64.
+//! Quickstart: 32 threads pick unique names through the `NameService`
+//! front-end, across three selectable backends.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use std::sync::Arc;
+use loose_renaming::prelude::*;
 
-use loose_renaming::core::{Epsilon, Rebatching};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 32;
-    // Namespace (1+ε)n = 64 with ε = 1 — the paper's ReBatching object.
-    let object = Arc::new(Rebatching::with_defaults(n, Epsilon::one())?);
+fn run_backend(algorithm: Algorithm, threads: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let service = NameService::builder(algorithm, threads)
+        .seed_policy(SeedPolicy::Fixed(42))
+        .build()?;
     println!(
-        "ReBatching object: capacity {} processes, namespace {} names, {} batches",
-        object.capacity(),
-        object.namespace_size(),
-        object.layout().batch_count(),
+        "{:<24} capacity {:>3}, namespace {:>4} names",
+        service.algorithm(),
+        service.capacity(),
+        service.namespace_size(),
     );
 
-    let handles: Vec<_> = (0..n)
-        .map(|i| {
-            let object = Arc::clone(&object);
-            std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(i as u64);
-                let name = object.get_name(&mut rng).expect("within capacity");
-                (i, name)
+    // Each thread acquires and *returns its guard*, so all names are held
+    // simultaneously — uniqueness among live guards is the guarantee.
+    let guards: Vec<NameGuard<'_>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let service = &service;
+                scope.spawn(move || service.acquire().expect("within capacity"))
             })
-        })
-        .collect();
-
-    let mut results: Vec<(usize, usize)> = handles
-        .into_iter()
-        .map(|h| {
-            let (thread, name) = h.join().expect("thread panicked");
-            (thread, name.value())
-        })
-        .collect();
-    results.sort_by_key(|&(_, name)| name);
-
-    println!("\nthread -> name (sorted by name):");
-    for (thread, name) in &results {
-        println!("  thread {thread:>2} -> name {name:>2}");
-    }
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread panicked"))
+            .collect()
+    });
 
     // Uniqueness is the whole point — double-check it.
-    let mut names: Vec<usize> = results.iter().map(|&(_, n)| n).collect();
+    let mut names: Vec<usize> = guards.iter().map(NameGuard::value).collect();
+    names.sort_unstable();
     names.dedup();
-    assert_eq!(names.len(), n, "duplicate names!");
-    println!("\nall {n} names unique, all within 0..{}", object.namespace_size());
+    assert_eq!(names.len(), threads, "duplicate names!");
+    let max = names.last().copied().unwrap_or(0);
+    println!(
+        "    {} threads -> {} unique names, all within 0..{} (largest: {})",
+        threads,
+        names.len(),
+        service.namespace_size(),
+        max,
+    );
+    drop(guards);
+    assert_eq!(service.held(), 0);
+    println!("    all names recycled on guard drop\n");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = 32;
+    println!("one acquire per thread, three interchangeable backends:\n");
+    for algorithm in [
+        Algorithm::Rebatching,
+        Algorithm::Adaptive,
+        Algorithm::FastAdaptive,
+    ] {
+        run_backend(algorithm, threads)?;
+    }
+
+    // Drop-based recycling: the same namespace serves wave after wave.
+    let service = NameService::builder(Algorithm::Rebatching, threads)
+        .seed_policy(SeedPolicy::Fixed(7))
+        .build()?;
+    for wave in 0..3 {
+        let guards: Vec<NameGuard<'_>> = (0..threads)
+            .map(|_| service.acquire().expect("within capacity"))
+            .collect();
+        println!("wave {wave}: holding {} names", guards.len());
+        drop(guards); // all recycled here
+    }
+    assert_eq!(service.held(), 0);
+    println!("all waves recycled; 0 names held");
     Ok(())
 }

@@ -5,48 +5,48 @@
 //! thread to own a small, dense slot index into a shared announcement
 //! array. Thread ids are useless for this (they come from an enormous
 //! sparse namespace); loose renaming is exactly the right tool — the array
-//! only needs `(1+ε)·max_threads` entries.
+//! only needs `(1+ε)·max_threads` entries, and `NameService` hands the
+//! slots out.
 //!
 //! ```text
 //! cargo run --release --example thread_pool_slots
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
-use loose_renaming::core::{Epsilon, Rebatching};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use loose_renaming::prelude::*;
 
 /// A miniature hazard-slot table: one announcement cell per renamed slot.
 struct HazardTable {
-    renaming: Rebatching,
+    service: NameService,
     announcements: Vec<AtomicUsize>,
 }
 
 impl HazardTable {
     fn new(max_threads: usize) -> Result<Self, Box<dyn std::error::Error>> {
-        let renaming = Rebatching::with_defaults(max_threads, Epsilon::one())?;
-        let announcements = (0..renaming.namespace_size())
+        let service = NameService::builder(Algorithm::Rebatching, max_threads)
+            .seed_policy(SeedPolicy::Entropy)
+            .build()?;
+        let announcements = (0..service.namespace_size())
             .map(|_| AtomicUsize::new(0))
             .collect();
         Ok(Self {
-            renaming,
+            service,
             announcements,
         })
     }
 
-    /// Called once per thread: acquire a dense slot.
-    fn register(&self, rng: &mut StdRng) -> usize {
-        self.renaming
-            .get_name(rng)
+    /// Called once per thread activation: acquire a dense slot. The guard
+    /// *is* the registration — dropping it deregisters the thread.
+    fn register(&self) -> NameGuard<'_> {
+        self.service
+            .acquire()
             .expect("more threads than the table's capacity")
-            .value()
     }
 
     /// Publish a "protected pointer" in the thread's slot.
-    fn announce(&self, slot: usize, ptr: usize) {
-        self.announcements[slot].store(ptr, Ordering::Release);
+    fn announce(&self, slot: &NameGuard<'_>, ptr: usize) {
+        self.announcements[slot.value()].store(ptr, Ordering::Release);
     }
 
     /// Scan announcements (what a reclaimer would do): the scan cost is
@@ -62,31 +62,32 @@ impl HazardTable {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_threads = 24;
-    let table = Arc::new(HazardTable::new(max_threads)?);
+    let table = HazardTable::new(max_threads)?;
     println!(
         "hazard table: {} announcement cells for up to {} threads",
         table.announcements.len(),
         max_threads
     );
 
-    let handles: Vec<_> = (0..max_threads)
-        .map(|i| {
-            let table = Arc::clone(&table);
-            std::thread::spawn(move || {
-                // Simulate a thread arriving with a huge sparse id.
-                let sparse_id = 0x5eed_0000_0000 + i * 7919;
-                let mut rng = StdRng::seed_from_u64(sparse_id as u64);
-                let slot = table.register(&mut rng);
-                table.announce(slot, sparse_id);
-                (sparse_id, slot)
+    let mut mapping: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..max_threads)
+            .map(|i| {
+                let table = &table;
+                scope.spawn(move || {
+                    // Simulate a thread arriving with a huge sparse id.
+                    let sparse_id = 0x5eed_0000_0000 + i * 7919;
+                    let slot = table.register();
+                    table.announce(&slot, sparse_id);
+                    // Keep the registration alive for this activation.
+                    (sparse_id, slot.into_name().value())
+                })
             })
-        })
-        .collect();
-
-    let mut mapping: Vec<(usize, usize)> = handles
-        .into_iter()
-        .map(|h| h.join().expect("thread panicked"))
-        .collect();
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread panicked"))
+            .collect()
+    });
     mapping.sort_by_key(|&(_, slot)| slot);
     println!("\nsparse thread id     -> dense slot");
     for (sparse, slot) in &mapping {
@@ -101,5 +102,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         protected.len(),
         table.announcements.len()
     );
+
+    // Deregister everyone: hand the detached names back.
+    for (_, slot) in mapping {
+        table.service.release_name(Name::new(slot))?;
+    }
+    assert_eq!(table.service.held(), 0);
+    println!("all slots handed back; table empty");
     Ok(())
 }

@@ -1,0 +1,199 @@
+//! Real-thread stress tests for the `NameService` acquire/release API.
+//!
+//! Three guarantees under test:
+//!
+//! 1. **Cross-thread uniqueness** — all concurrently held [`NameGuard`]s
+//!    carry distinct names (checked live, per acquisition, via a per-slot
+//!    occupancy table, not just post-hoc).
+//! 2. **Drop-based recycling** — names return to the namespace when
+//!    guards drop, so sustained churn far beyond the namespace size never
+//!    exhausts it, and the service drains to zero held names.
+//! 3. **Reproducibility** — under a fixed seed policy, a single-threaded
+//!    acquisition sequence is a pure function of the builder
+//!    configuration.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use loose_renaming::prelude::*;
+
+/// Acquire/release churn on every releasable backend: `threads` real
+/// threads, each cycling `iterations` times, with a live occupancy table
+/// asserting cross-thread uniqueness at every hold.
+fn stress(algorithm: Algorithm, threads: usize, iterations: usize) {
+    let service = NameService::builder(algorithm, threads)
+        .seed_policy(SeedPolicy::Fixed(0xA11CE))
+        .build()
+        .expect("build");
+    assert!(service.supports_release());
+    let occupied: Vec<AtomicBool> = (0..service.namespace_size())
+        .map(|_| AtomicBool::new(false))
+        .collect();
+    let total_acquires = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (service, occupied, total) = (&service, &occupied, &total_acquires);
+            scope.spawn(move || {
+                for _ in 0..iterations {
+                    let guard = service.acquire().expect("within capacity");
+                    let slot = &occupied[guard.value()];
+                    assert!(
+                        !slot.swap(true, Ordering::SeqCst),
+                        "name {} handed to two concurrent holders",
+                        guard.value()
+                    );
+                    total.fetch_add(1, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    // Clear the occupancy bit *before* the release the
+                    // guard drop performs, so a racing re-acquire of the
+                    // same slot never observes a stale `true`.
+                    slot.store(false, Ordering::SeqCst);
+                    drop(guard);
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        total_acquires.load(Ordering::Relaxed),
+        threads * iterations,
+        "every cycle must complete"
+    );
+    assert_eq!(service.held(), 0, "all names recycled after the churn");
+    // The churn performed far more acquisitions than the namespace has
+    // slots — only recycling makes that possible.
+    assert!(threads * iterations > 2 * service.namespace_size());
+}
+
+#[test]
+fn rebatching_churn_is_unique_and_recycles() {
+    stress(Algorithm::Rebatching, 8, 200);
+}
+
+#[test]
+fn adaptive_churn_is_unique_and_recycles() {
+    // Also exercises the abandoned-win recycling of the search phase:
+    // without it, superseded race/search wins would leak a slot per
+    // contended acquire and exhaust the namespace mid-test.
+    stress(Algorithm::Adaptive, 8, 200);
+}
+
+#[test]
+fn fast_adaptive_churn_is_unique_and_recycles() {
+    stress(Algorithm::FastAdaptive, 8, 200);
+}
+
+#[test]
+fn baseline_backends_churn_too() {
+    for algorithm in [Algorithm::Uniform, Algorithm::SingleBatch, Algorithm::Doubling] {
+        stress(algorithm, 4, 100);
+    }
+    // Linear scan: optimal namespace => heavier contention; fewer spins.
+    stress(Algorithm::LinearScan, 4, 50);
+}
+
+#[test]
+fn guards_held_together_are_distinct_across_threads() {
+    let threads = 16;
+    let service = NameService::builder(Algorithm::Rebatching, threads)
+        .seed_policy(SeedPolicy::Fixed(7))
+        .build()
+        .expect("build");
+    // Every thread acquires and returns its guard; all are held at once.
+    let guards: Vec<NameGuard<'_>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let service = &service;
+                scope.spawn(move || service.acquire().expect("name"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    let mut values: Vec<usize> = guards.iter().map(NameGuard::value).collect();
+    values.sort_unstable();
+    let before = values.len();
+    values.dedup();
+    assert_eq!(values.len(), before, "duplicate concurrent names");
+    assert!(values.iter().all(|&v| v < service.namespace_size()));
+    assert_eq!(service.held(), threads);
+    drop(guards);
+    assert_eq!(service.held(), 0, "dropping every guard drains the service");
+}
+
+#[test]
+fn dropped_names_are_reissued() {
+    // The namespace has 4 slots; 50 sequential acquisitions can only
+    // succeed if dropped names come back.
+    let service = NameService::builder(Algorithm::Rebatching, 2)
+        .seed_policy(SeedPolicy::Fixed(3))
+        .build()
+        .expect("build");
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..50 {
+        let guard = service.acquire().expect("nothing else held");
+        seen.insert(guard.value());
+    }
+    assert!(!seen.is_empty());
+    assert!(seen.len() <= service.namespace_size());
+    assert_eq!(service.held(), 0);
+}
+
+#[test]
+fn fixed_seed_sequences_are_reproducible_per_backend() {
+    for algorithm in [
+        Algorithm::Rebatching,
+        Algorithm::Adaptive,
+        Algorithm::FastAdaptive,
+        Algorithm::Uniform,
+    ] {
+        let run = || -> Vec<usize> {
+            let service = NameService::builder(algorithm, 32)
+                .seed_policy(SeedPolicy::Fixed(99))
+                .build()
+                .expect("build");
+            // Mixed workload: hold a few, release a few, single thread.
+            let mut values = Vec::new();
+            let mut held = Vec::new();
+            for i in 0..40 {
+                let guard = service.acquire().expect("within capacity");
+                values.push(guard.value());
+                if i % 3 == 0 {
+                    held.push(guard); // hold on
+                } else {
+                    drop(guard); // recycle now
+                }
+                if held.len() > 8 {
+                    held.clear(); // bulk release
+                }
+            }
+            values
+        };
+        assert_eq!(run(), run(), "{algorithm:?}: fixed seed must reproduce");
+    }
+}
+
+#[test]
+fn namespace_exhaustion_is_an_error_not_a_panic() {
+    let service = NameService::builder(Algorithm::Rebatching, 2)
+        .seed_policy(SeedPolicy::Fixed(5))
+        .build()
+        .expect("build");
+    let mut guards = Vec::new();
+    // Fill the whole (1+ε)n namespace, then one more must error.
+    for _ in 0..service.namespace_size() {
+        guards.push(service.acquire().expect("namespace not yet full"));
+    }
+    let err = service.acquire().unwrap_err();
+    assert_eq!(
+        err,
+        RenamingError::NamespaceExhausted {
+            namespace: service.namespace_size()
+        }
+    );
+    drop(guards);
+    // After draining, acquisition works again.
+    assert!(service.acquire().is_ok());
+}
