@@ -11,7 +11,7 @@
 //!   models can be compared;
 //! * [`Table`] — aligned ASCII tables for harness output;
 //! * [`ExperimentRecord`] — JSON-lines export so every number printed in
-//!   `EXPERIMENTS.md` can be regenerated and diffed;
+//!   an experiment report can be regenerated and diffed;
 //! * [`axis`] — the transformed axes (`log2 n`, `log2 log2 n`,
 //!   `(log2 log2 n)²`, ...) used by the fits.
 

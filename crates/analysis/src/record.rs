@@ -9,7 +9,7 @@ use serde_json::Value;
 /// and its measured metrics, as free-form JSON objects.
 ///
 /// The harness appends one record per table row to a `.jsonl` file so that
-/// every number in `EXPERIMENTS.md` is regenerable and diffable.
+/// every number an experiment reports is regenerable and diffable.
 ///
 /// # Example
 ///

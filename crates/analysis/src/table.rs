@@ -4,8 +4,8 @@ use std::fmt;
 
 /// A simple column-aligned table builder.
 ///
-/// The experiment harness prints one table per reproduced claim; the same
-/// renderer writes the blocks pasted into `EXPERIMENTS.md`.
+/// The experiment harness prints one table per reproduced claim (the
+/// reports cataloged in the repository's `EXPERIMENTS.md`).
 ///
 /// # Example
 ///

@@ -297,7 +297,7 @@ impl DoublingRenaming<AtomicTas> {
         Self {
             capacity,
             probes_per_level: 2,
-            slots: Arc::new(TasArray::new(4 * capacity.max(1))),
+            slots: Arc::new(TasArray::new(4 * capacity)),
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Experiment runner: regenerates every table in `EXPERIMENTS.md`.
+//! Experiment runner: executes the experiments cataloged in
+//! `EXPERIMENTS.md` (see the registry in `renaming_bench::experiments`).
 //!
 //! ```text
 //! experiments all                  # run everything (full sweeps)

@@ -1,9 +1,10 @@
 //! The experiment registry: one entry per reproduced claim.
 //!
-//! Ids follow `DESIGN.md` §5. Every experiment takes the shared
-//! [`Harness`], prints nothing itself, and returns its full text report
-//! (tables + verdict) so the binary, the tests and `EXPERIMENTS.md` all
-//! consume the same artifact.
+//! Ids follow the paper's claims (`e1`..`e14`, ablations `a1`/`a2`,
+//! plus tooling). Every experiment takes the shared [`Harness`], prints
+//! nothing itself, and returns its full text report (tables + verdict);
+//! the repository's `EXPERIMENTS.md` catalogs the registry and a test
+//! keeps the two consistent.
 
 mod ablations;
 mod adaptive;

@@ -22,8 +22,8 @@ pub struct Harness {
 
 impl Harness {
     /// Creates a harness running trials on every available core. `quick`
-    /// shrinks sweeps and trial counts to CI-friendly sizes; the full
-    /// mode is what `EXPERIMENTS.md` records.
+    /// shrinks sweeps and trial counts to CI-friendly sizes; full mode
+    /// runs the paper-scale sweeps (`EXPERIMENTS.md` lists both runtimes).
     pub fn new(quick: bool, seed: u64) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         Self::with_threads(quick, seed, threads)

@@ -1,10 +1,11 @@
 //! Experiment harness reproducing every quantitative claim of the paper.
 //!
 //! The paper is a theory paper; its "evaluation" is a set of theorems and
-//! lemmas. `DESIGN.md` §5 maps each to an experiment id (E1–E14, A1–A2);
-//! this crate implements them, prints one table per claim, and emits
-//! machine-readable JSON-lines records. `EXPERIMENTS.md` pastes the
-//! resulting tables next to the paper's claims.
+//! lemmas. The registry in [`experiments`] maps each to an experiment id
+//! (E1–E14, A1–A2, plus tooling); this crate implements them, prints one
+//! table per claim, and emits machine-readable JSON-lines records. The
+//! repository's `EXPERIMENTS.md` catalogs every id and is
+//! consistency-checked against the registry by a test.
 //!
 //! Run everything:
 //!

@@ -1,0 +1,95 @@
+//! `EXPERIMENTS.md` is checked against the experiment registry: every
+//! registered experiment must appear in the catalog table with its exact
+//! claim text, and the table must list nothing the registry does not
+//! know. Documentation that cannot drift.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use renaming_bench::experiments;
+
+/// One parsed row of the catalog table: id -> (flag name, claim).
+fn parse_catalog_table(markdown: &str) -> BTreeMap<String, (String, String)> {
+    let mut rows = BTreeMap::new();
+    for line in markdown.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        // Catalog rows have exactly the 5 documented columns; skip the
+        // header ("id | flag name | ...") and the separator row.
+        if cells.len() != 5 || cells[0] == "id" || cells[0].starts_with('-') {
+            continue;
+        }
+        let id = cells[0].to_string();
+        let flag = cells[1].trim_matches('`').to_string();
+        let claim = cells[2].to_string();
+        assert!(
+            rows.insert(id.clone(), (flag, claim)).is_none(),
+            "duplicate row for `{id}` in EXPERIMENTS.md"
+        );
+    }
+    rows
+}
+
+#[test]
+fn experiments_md_matches_the_registry() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS.md");
+    let markdown = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("EXPERIMENTS.md must exist at {}: {e}", path.display()));
+    let rows = parse_catalog_table(&markdown);
+    let catalog = experiments::catalog();
+
+    assert_eq!(
+        rows.len(),
+        catalog.len(),
+        "EXPERIMENTS.md lists {} experiments, the registry has {}",
+        rows.len(),
+        catalog.len()
+    );
+
+    for info in &catalog {
+        let (flag, claim) = rows
+            .get(info.id)
+            .unwrap_or_else(|| panic!("experiment `{}` is missing from EXPERIMENTS.md", info.id));
+        assert_eq!(
+            flag, info.id,
+            "`{}`: the flag name column must be the registry id (it is the CLI argument)",
+            info.id
+        );
+        assert_eq!(
+            claim, info.claim,
+            "`{}`: claim text in EXPERIMENTS.md drifted from the registry",
+            info.id
+        );
+    }
+
+    for id in rows.keys() {
+        assert!(
+            catalog.iter().any(|info| info.id == id),
+            "EXPERIMENTS.md documents `{id}`, which the registry does not contain"
+        );
+    }
+}
+
+#[test]
+fn experiments_md_is_linked_from_readme_and_facade() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for (file, must_mention) in [
+        ("README.md", "EXPERIMENTS.md"),
+        ("src/lib.rs", "EXPERIMENTS.md"),
+        ("EXPERIMENTS.md", "ARCHITECTURE.md"),
+    ] {
+        let text = std::fs::read_to_string(root.join(file))
+            .unwrap_or_else(|e| panic!("{file} must exist: {e}"));
+        assert!(
+            text.contains(must_mention),
+            "{file} no longer references {must_mention}"
+        );
+    }
+}

@@ -22,7 +22,7 @@ use crate::{AdaptiveLayout, Epsilon, ProbeSchedule, RenamingError, DEFAULT_BETA}
 /// Step machine for one process running AdaptiveReBatching.
 ///
 /// The `GetName` calls of the race phase omit the backup phase exactly as
-/// §5.1 prescribes, with one exception documented in `DESIGN.md` (D4): the
+/// §5.1 prescribes, with one deliberate deviation: the
 /// *top* object `R_L` keeps its backup scan, which restores a deterministic
 /// termination guarantee once the collection is bounded (`R_L` has at least
 /// `2n` slots and each process claims at most one of them in the race).

@@ -65,7 +65,8 @@ impl Frame {
 enum Phase {
     /// Lines 1–5: `TryGetName(0)` on the landmark objects.
     Race { pos: usize, call: BatchCall },
-    /// Termination safeguard (DESIGN.md D4): full `GetName` with backup on
+    /// Termination safeguard (same deviation as `AdaptiveMachine`'s top
+    /// object): full `GetName` with backup on
     /// the top object after the entire race failed.
     Fallback { call: ObjectCall },
     /// Lines 6–9: between `Search` chains; `j` indexes the landmark list.
@@ -382,7 +383,7 @@ impl Renamer for FastAdaptiveMachine {
                     } else {
                         // The entire race failed (probability < 4^-t0 per
                         // process): fall back to a full GetName with backup
-                        // on the top object (DESIGN.md D4).
+                        // on the top object (the termination safeguard).
                         let top = layout.max_index();
                         self.objects_visited += 1;
                         self.phase = Phase::Fallback {

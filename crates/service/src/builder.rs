@@ -14,6 +14,7 @@ use renaming_tas::rwtas::TournamentTas;
 use renaming_tas::{TasArray, TicketTas};
 
 use crate::namespace::{ServiceBackend, TournamentSlot};
+use crate::pool::PoolKind;
 use crate::{NameService, SeedPolicy};
 
 /// The renaming algorithm backing a [`NameService`].
@@ -22,6 +23,23 @@ use crate::{NameService, SeedPolicy};
 /// variant hands out unique names, they differ in namespace size, step
 /// complexity and adaptivity (see the crate docs of `renaming-core` and
 /// `renaming-baselines`).
+///
+/// # Example
+///
+/// Every algorithm serves the same acquire/release contract:
+///
+/// ```
+/// use renaming_service::{Algorithm, NameService};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// for algorithm in Algorithm::all() {
+///     let service = NameService::builder(algorithm, 8).build()?;
+///     let guard = service.acquire()?;
+///     assert!(guard.value() < service.namespace_size());
+/// }
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// ReBatching (§4): namespace `(1+ε)n`, `log log n + O(1)` steps
@@ -58,6 +76,27 @@ impl Algorithm {
 }
 
 /// The test-and-set substrate under the namespace's slots.
+///
+/// # Example
+///
+/// The tournament substrate acquires but cannot recycle:
+///
+/// ```
+/// use renaming_service::{Algorithm, NameService, RenamingError, TasBackend};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let service = NameService::builder(Algorithm::Rebatching, 4)
+///     .tas_backend(TasBackend::Tournament)
+///     .build()?;
+/// assert!(!service.supports_release());
+/// let name = service.acquire()?.into_name();
+/// assert!(matches!(
+///     service.release_name(name),
+///     Err(RenamingError::ReleaseUnsupported { .. })
+/// ));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TasBackend {
     /// Hardware atomics ([`renaming_tas::AtomicTas`]): the paper's model,
@@ -100,6 +139,8 @@ pub struct NameServiceBuilder {
     beta: usize,
     backend: TasBackend,
     seed_policy: SeedPolicy,
+    pool_kind: PoolKind,
+    pool_shards: Option<usize>,
 }
 
 impl NameServiceBuilder {
@@ -114,6 +155,8 @@ impl NameServiceBuilder {
             beta: DEFAULT_BETA,
             backend: TasBackend::Atomic,
             seed_policy: SeedPolicy::Entropy,
+            pool_kind: PoolKind::Sharded,
+            pool_shards: None,
         }
     }
 
@@ -147,6 +190,28 @@ impl NameServiceBuilder {
         self
     }
 
+    /// The session-pool implementation (default [`PoolKind::Sharded`],
+    /// the lock-free pool). [`PoolKind::Mutex`] selects the serialized
+    /// baseline the `service_throughput` experiment compares against.
+    #[must_use]
+    pub fn pool_kind(mut self, kind: PoolKind) -> Self {
+        self.pool_kind = kind;
+        self
+    }
+
+    /// Shard count for the sharded pool (default: one shard per
+    /// hardware thread; rounded up to a power of two, clamped to
+    /// `1..=1024`). Ignored by [`PoolKind::Mutex`].
+    ///
+    /// More shards spread check-ins across more cache lines; fewer
+    /// shards keep the empty-pool probe walk shorter. The default is
+    /// right unless threads far outnumber cores.
+    #[must_use]
+    pub fn pool_shards(mut self, shards: usize) -> Self {
+        self.pool_shards = Some(shards);
+        self
+    }
+
     /// Builds the service.
     ///
     /// # Errors
@@ -161,7 +226,12 @@ impl NameServiceBuilder {
             TasBackend::Atomic => self.build_atomic()?,
             TasBackend::Tournament => self.build_tournament()?,
         };
-        Ok(NameService::with_backend(backend, self.seed_policy))
+        Ok(NameService::with_backend_pool(
+            backend,
+            self.seed_policy,
+            self.pool_kind,
+            self.pool_shards,
+        ))
     }
 
     fn build_atomic(self) -> Result<Arc<dyn ServiceBackend>, RenamingError> {

@@ -20,6 +20,23 @@ use crate::NameService;
 /// by design: the slot stays taken for the service's lifetime. Call
 /// [`release`](Self::release) instead of dropping to observe that
 /// outcome explicitly.
+///
+/// # Example
+///
+/// Dropping the guard is the release:
+///
+/// ```
+/// use renaming_service::{Algorithm, NameService};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let service = NameService::builder(Algorithm::Rebatching, 8).build()?;
+/// let guard = service.acquire()?;
+/// assert_eq!(service.held(), 1);
+/// drop(guard);
+/// assert_eq!(service.held(), 0, "drop released the name");
+/// # Ok(())
+/// # }
+/// ```
 #[must_use = "dropping the guard immediately releases the name"]
 pub struct NameGuard<'s> {
     service: &'s NameService,
@@ -58,6 +75,28 @@ impl<'s> NameGuard<'s> {
     ///
     /// Returns [`RenamingError::ReleaseUnsupported`] on one-shot
     /// backends; the name stays taken.
+    ///
+    /// # Example
+    ///
+    /// The register-based tournament cannot recycle names, and explicit
+    /// release is how a caller observes that:
+    ///
+    /// ```
+    /// use renaming_service::{Algorithm, NameService, RenamingError, TasBackend};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let service = NameService::builder(Algorithm::Rebatching, 4)
+    ///     .tas_backend(TasBackend::Tournament)
+    ///     .build()?;
+    /// let guard = service.acquire()?;
+    /// assert!(matches!(
+    ///     guard.release(),
+    ///     Err(RenamingError::ReleaseUnsupported { .. })
+    /// ));
+    /// assert_eq!(service.held(), 1, "the slot stays taken");
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn release(mut self) -> Result<(), RenamingError> {
         self.armed = false;
         self.service.release_name(self.name)
@@ -66,6 +105,21 @@ impl<'s> NameGuard<'s> {
     /// Detaches the name from the guard **without** releasing it. The
     /// caller takes over ownership and is responsible for an eventual
     /// [`NameService::release_name`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use renaming_service::{Algorithm, NameService};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let service = NameService::builder(Algorithm::Rebatching, 4).build()?;
+    /// let name = service.acquire()?.into_name();
+    /// assert_eq!(service.held(), 1, "detached names stay held");
+    /// service.release_name(name)?;
+    /// assert_eq!(service.held(), 0);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn into_name(mut self) -> Name {
         self.armed = false;
         self.name

@@ -50,11 +50,13 @@
 mod builder;
 mod guard;
 mod namespace;
+mod pool;
 mod service;
 
 pub use builder::{Algorithm, NameServiceBuilder, TasBackend};
 pub use guard::NameGuard;
 pub use namespace::{CountingSlot, Namespace, PooledSession, ServiceBackend, TournamentSlot};
+pub use pool::PoolKind;
 pub use service::{NameService, SeedPolicy};
 
 // Re-export the vocabulary types a service caller needs, so depending on

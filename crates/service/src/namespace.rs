@@ -17,12 +17,54 @@ use renaming_tas::{AtomicTas, CountingTas, ResettableTas, Tas, TicketTas};
 /// The TAS slot type of the register-based tournament backend: a
 /// [`TournamentTas`] per name, adapted to the anonymous [`Tas`] interface
 /// by ticketing.
+///
+/// # Example
+///
+/// The slot behaves like any one-shot TAS — first caller wins:
+///
+/// ```
+/// use renaming_service::TournamentSlot;
+/// use renaming_tas::rwtas::TournamentTas;
+/// use renaming_tas::{Tas, TasResult, TicketTas};
+///
+/// let slot: TournamentSlot = TicketTas::new(TournamentTas::new(4));
+/// assert_eq!(slot.test_and_set(), TasResult::Won);
+/// assert_eq!(slot.test_and_set(), TasResult::Lost);
+/// ```
 pub type TournamentSlot = TicketTas<TournamentTas>;
 
 /// An instrumented atomic slot: hardware TAS behind an operation counter,
 /// for measuring real steps-per-acquire through the service (build such
 /// backends with the objects' `from_parts` constructors and
 /// [`crate::NameService::with_backend`]).
+///
+/// # Example
+///
+/// Count the TAS operations a service's acquires actually perform:
+///
+/// ```
+/// use std::sync::Arc;
+/// use renaming_service::{Epsilon, NameService, SeedPolicy};
+/// use renaming_core::{BatchLayout, ProbeSchedule, Rebatching};
+/// use renaming_tas::{AtomicTas, CountingTas, TasArray};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schedule = ProbeSchedule::paper(Epsilon::one(), 3)?;
+/// let layout = BatchLayout::shared(16, schedule)?;
+/// let slots = Arc::new(TasArray::from_slots(
+///     (0..layout.namespace_size())
+///         .map(|_| CountingTas::new(AtomicTas::new()))
+///         .collect(),
+/// ));
+/// let backend = Arc::new(Rebatching::from_parts(layout, Arc::clone(&slots))?);
+/// let service = NameService::with_backend(backend, SeedPolicy::Fixed(1));
+///
+/// let _guard = service.acquire()?;
+/// let ops: u64 = (0..slots.len()).map(|i| slots.slot(i).tas_ops()).sum();
+/// assert!(ops >= 1, "an acquire performs at least one TAS");
+/// # Ok(())
+/// # }
+/// ```
 pub type CountingSlot = CountingTas<AtomicTas>;
 
 /// A long-lived loose-renaming object: a shared namespace `0..m` from
@@ -43,6 +85,28 @@ pub type CountingSlot = CountingTas<AtomicTas>;
 ///   makes the name available to future acquires. Releasing a name that
 ///   is not held is a caller bug and may panic.
 /// * `namespace_size` bounds every returned name: `name < m`.
+///
+/// # Example
+///
+/// Drive any backend through the trait object:
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use renaming_service::{Epsilon, Namespace};
+/// use renaming_core::Rebatching;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let object = Rebatching::with_defaults(16, Epsilon::one())?;
+/// let ns: &dyn Namespace = &object;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let name = ns.acquire(&mut rng)?;
+/// assert!(name.value() < ns.namespace_size());
+/// ns.release(name)?;
+/// assert_eq!(ns.held(), 0);
+/// # Ok(())
+/// # }
+/// ```
 pub trait Namespace: Send + Sync {
     /// Acquires a unique name, drawing coins from `rng`.
     ///
@@ -89,6 +153,27 @@ pub trait Namespace: Send + Sync {
 /// [`crate::NameService`] keeps a pool of these so steady-state acquires
 /// construct no machine (and touch no `Arc` refcounts). Implemented by
 /// [`NameSession`] for every machine/backend combination.
+///
+/// # Example
+///
+/// Sessions come from [`ServiceBackend::open_session`]; each drives its
+/// own reusable machine against the backend's shared slots:
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use renaming_service::{Epsilon, PooledSession, ServiceBackend};
+/// use renaming_core::Rebatching;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let object = Rebatching::with_defaults(8, Epsilon::one())?;
+/// let mut session: Box<dyn PooledSession> = object.open_session();
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let name = session.acquire(&mut rng)?;
+/// assert!(name.value() < 16);
+/// # Ok(())
+/// # }
+/// ```
 pub trait PooledSession: Send {
     /// Acquires a unique name, reusing this session's machine.
     ///
@@ -129,6 +214,29 @@ where
 
 /// A [`Namespace`] that can open [`PooledSession`]s — everything
 /// [`crate::NameService`] needs from a backend.
+///
+/// # Example
+///
+/// A session acquires against the same shared slots as the object it
+/// was opened from, reusing one machine across calls:
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use renaming_service::{Epsilon, Namespace, ServiceBackend};
+/// use renaming_core::Rebatching;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let object = Rebatching::with_defaults(8, Epsilon::one())?;
+/// let mut session = object.open_session();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let a = session.acquire(&mut rng)?;
+/// let b = session.acquire(&mut rng)?;
+/// assert_ne!(a, b);
+/// assert_eq!(Namespace::held(&object), 2);
+/// # Ok(())
+/// # }
+/// ```
 pub trait ServiceBackend: Namespace {
     /// Opens a fresh session over this backend's shared slots.
     fn open_session(&self) -> Box<dyn PooledSession>;

@@ -1,0 +1,437 @@
+//! The session pools behind [`NameService`](crate::NameService): a
+//! sharded, lock-free checkout path (the default) and the original
+//! mutex-guarded pool (kept as a selectable baseline — see
+//! [`PoolKind`]).
+//!
+//! # Why sharded
+//!
+//! The service's acquire fast path is the whole point of the paper's
+//! algorithms: `O(log log n)` TAS probes, no global serialization. A
+//! `Mutex<Vec<_>>` checkout in front of that re-introduces exactly the
+//! global point of contention the algorithms avoid — every acquire and
+//! every release takes the same lock, and on an oversubscribed machine a
+//! preempted lock holder convoys every other thread. The
+//! [`ShardedPool`] removes it:
+//!
+//! * a fixed, power-of-two array of **shards**, each a cache-line-padded
+//!   bank of `AtomicPtr` slots, so different threads' check-ins land on
+//!   different cache lines;
+//! * a **thread-local shard hint** spreads threads across shards and
+//!   sends a thread back to the slot it used last, so the single-thread
+//!   fast path is one `swap` on one warm line;
+//! * **work stealing**: a checkout that finds its home shard empty
+//!   probes the neighboring shards before giving up;
+//! * a **bounded slow path**: only when every slot of every shard is
+//!   empty does the caller construct a fresh session.
+//!
+//! All transfers use `swap`/`compare_exchange` of whole pointers —
+//! ownership moves atomically in one instruction, no node links are ever
+//! traversed, so the classic Treiber-stack ABA hazard cannot arise and
+//! no deferred reclamation scheme is needed: whoever swaps a non-null
+//! pointer out of a slot owns it exclusively.
+
+use std::cell::Cell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The session-pool implementation a
+/// [`NameService`](crate::NameService) checks workers out of.
+///
+/// Selected via
+/// [`NameServiceBuilder::pool_kind`](crate::NameServiceBuilder::pool_kind);
+/// both pools hand out the same per-worker sessions, so the choice never
+/// affects *which* names a service produces — only how fast checkouts
+/// scale across threads (the `service_throughput` experiment records
+/// both curves into `BENCH_service.json`).
+///
+/// # Example
+///
+/// ```
+/// use renaming_service::{Algorithm, NameService, PoolKind, SeedPolicy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let seq = |kind: PoolKind| -> Vec<usize> {
+///     let service = NameService::builder(Algorithm::Rebatching, 8)
+///         .pool_kind(kind)
+///         .seed_policy(SeedPolicy::Fixed(7))
+///         .build()
+///         .expect("build");
+///     (0..10).map(|_| service.acquire().expect("name").value()).collect()
+/// };
+/// // Same backend, same seed policy: the pool choice is invisible to
+/// // single-threaded callers.
+/// assert_eq!(seq(PoolKind::Sharded), seq(PoolKind::Mutex));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PoolKind {
+    /// The sharded, lock-free pool (the default): per-shard
+    /// cache-line-padded `AtomicPtr` slots, thread-local shard hints,
+    /// work-stealing checkout.
+    #[default]
+    Sharded,
+    /// The original `Mutex<Vec<_>>` checkout — one global lock on the
+    /// acquire path. Kept as the measured baseline.
+    Mutex,
+}
+
+/// Idle slots per shard. Four pointers cover the common burst of
+/// same-shard check-ins (several threads hashing to one shard) while
+/// keeping the padded shard a single 128-byte unit.
+const SLOTS_PER_SHARD: usize = 4;
+
+/// Upper bound on the shard count a caller can configure; beyond this
+/// the empty-pool probe walk costs more than it saves.
+pub(crate) const MAX_SHARDS: usize = 1024;
+
+/// One bank of idle-session slots, aligned and sized to own its cache
+/// lines outright (128 bytes covers the adjacent-line prefetcher on
+/// x86), so checkouts on one shard never false-share with another.
+#[repr(align(128))]
+struct Shard<T> {
+    slots: [AtomicPtr<T>; SLOTS_PER_SHARD],
+}
+
+impl<T> Shard<T> {
+    fn new() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+}
+
+/// The thread's home shard index (before masking). Assigned round-robin
+/// on first use so simultaneously active threads start on distinct
+/// shards; stable thereafter so a thread re-checks-out the worker it
+/// just checked in — the warm line, the warm session.
+fn shard_hint() -> usize {
+    static NEXT_HINT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    HINT.with(|hint| {
+        let mut v = hint.get();
+        if v == usize::MAX {
+            v = NEXT_HINT.fetch_add(1, Ordering::Relaxed);
+            hint.set(v);
+        }
+        v
+    })
+}
+
+/// A lock-free pool of idle `Box<T>` items, sharded to kill contention
+/// and false sharing on the checkout path.
+///
+/// `checkout` and `checkin` are lock-free and finish in at most
+/// `shards × SLOTS_PER_SHARD` atomic operations. Ownership transfers via
+/// whole-pointer `swap`, so no ABA hazard exists and no reclamation
+/// scheme is needed.
+pub(crate) struct ShardedPool<T> {
+    shards: Box<[Shard<T>]>,
+    /// `shards.len() - 1`; the length is a power of two.
+    mask: usize,
+    /// Items dropped by `checkin` because every slot was occupied. Only
+    /// possible when more than `shards.len() × SLOTS_PER_SHARD` items
+    /// are idle at once — the pool is already warm, so retiring the
+    /// surplus is the bounded-memory choice.
+    retired: AtomicU64,
+}
+
+// SAFETY: the pool owns heap pointers to `T` and hands each out to at
+// most one thread at a time (`swap` takes the pointer out of the slot
+// before anyone touches it), so sharing the pool is sound whenever
+// sending `T` is.
+unsafe impl<T: Send> Send for ShardedPool<T> {}
+unsafe impl<T: Send> Sync for ShardedPool<T> {}
+
+impl<T> ShardedPool<T> {
+    /// A pool with `shards` shards, rounded up to a power of two and
+    /// clamped to `1..=MAX_SHARDS`.
+    pub(crate) fn new(shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        Self {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            mask: shards - 1,
+            retired: AtomicU64::new(0),
+        }
+    }
+
+    /// The default shard count: the machine's parallelism, rounded up to
+    /// a power of two (more concurrent threads than cores gain nothing
+    /// from more shards — they cannot all be checking out at once).
+    pub(crate) fn default_shards() -> usize {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+
+    /// The configured shard count.
+    pub(crate) fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Takes an idle item, preferring the calling thread's home shard
+    /// and stealing from neighbors before reporting the pool empty.
+    pub(crate) fn checkout(&self) -> Option<Box<T>> {
+        let home = shard_hint() & self.mask;
+        for probe in 0..self.shards.len() {
+            let shard = &self.shards[(home + probe) & self.mask];
+            for slot in &shard.slots {
+                // Cheap read first: swapping an empty slot would pull its
+                // line exclusive for nothing on the steal path.
+                if slot.load(Ordering::Relaxed).is_null() {
+                    continue;
+                }
+                let p = slot.swap(ptr::null_mut(), Ordering::Acquire);
+                if !p.is_null() {
+                    // SAFETY: `p` came from `Box::into_raw` in `checkin`
+                    // and the swap made this thread its only holder.
+                    return Some(unsafe { Box::from_raw(p) });
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns an item to the pool. If every slot of every shard is
+    /// occupied the item is dropped (counted in [`Self::retired`]).
+    pub(crate) fn checkin(&self, item: Box<T>) {
+        let p = Box::into_raw(item);
+        let home = shard_hint() & self.mask;
+        for probe in 0..self.shards.len() {
+            let shard = &self.shards[(home + probe) & self.mask];
+            for slot in &shard.slots {
+                if slot.load(Ordering::Relaxed).is_null()
+                    && slot
+                        .compare_exchange(
+                            ptr::null_mut(),
+                            p,
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    return;
+                }
+            }
+        }
+        self.retired.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `p` was produced by `Box::into_raw` above and was never
+        // published (every compare_exchange failed).
+        drop(unsafe { Box::from_raw(p) });
+    }
+
+    /// Idle items currently pooled (advisory under concurrency).
+    pub(crate) fn pooled(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.slots.iter())
+            .filter(|slot| !slot.load(Ordering::Relaxed).is_null())
+            .count()
+    }
+
+    /// Items dropped on check-in because the pool was full.
+    pub(crate) fn retired(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for ShardedPool<T> {
+    fn drop(&mut self) {
+        for shard in self.shards.iter() {
+            for slot in &shard.slots {
+                let p = slot.swap(ptr::null_mut(), Ordering::Acquire);
+                if !p.is_null() {
+                    // SAFETY: exclusive access (`&mut self`), pointer came
+                    // from `Box::into_raw`.
+                    drop(unsafe { Box::from_raw(p) });
+                }
+            }
+        }
+    }
+}
+
+/// The original pool: one mutex around a vector of idle items. Correct
+/// and simple; serializes every checkout and check-in.
+pub(crate) struct MutexPool<T> {
+    items: Mutex<Vec<Box<T>>>,
+}
+
+impl<T> MutexPool<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            items: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn checkout(&self) -> Option<Box<T>> {
+        self.items.lock().expect("service pool poisoned").pop()
+    }
+
+    pub(crate) fn checkin(&self, item: Box<T>) {
+        self.items.lock().expect("service pool poisoned").push(item);
+    }
+
+    pub(crate) fn pooled(&self) -> usize {
+        self.items.lock().expect("service pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn shard_counts_round_up_and_clamp() {
+        assert_eq!(ShardedPool::<u32>::new(0).shards(), 1);
+        assert_eq!(ShardedPool::<u32>::new(1).shards(), 1);
+        assert_eq!(ShardedPool::<u32>::new(3).shards(), 4);
+        assert_eq!(ShardedPool::<u32>::new(8).shards(), 8);
+        assert_eq!(ShardedPool::<u32>::new(usize::MAX).shards(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn checkout_returns_checked_in_items() {
+        let pool = ShardedPool::new(4);
+        assert!(pool.checkout().is_none());
+        pool.checkin(Box::new(7u32));
+        pool.checkin(Box::new(8u32));
+        assert_eq!(pool.pooled(), 2);
+        let mut got = vec![*pool.checkout().expect("one"), *pool.checkout().expect("two")];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+        assert!(pool.checkout().is_none());
+    }
+
+    #[test]
+    fn same_thread_gets_its_own_item_back() {
+        // The single-thread fast path: the hint shard's first slot is
+        // both the check-in and the checkout target, so the same box
+        // cycles — this is what keeps `SeedPolicy::Fixed` sequences
+        // stable when the service swaps pools.
+        let pool = ShardedPool::new(8);
+        let first = Box::new(41u32);
+        let addr = &*first as *const u32 as usize;
+        pool.checkin(first);
+        pool.checkin(Box::new(42u32));
+        let got = pool.checkout().expect("item");
+        assert_eq!(&*got as *const u32 as usize, addr);
+        assert_eq!(*got, 41);
+    }
+
+    #[test]
+    fn overflow_retires_rather_than_grows() {
+        let pool = ShardedPool::new(1); // 1 shard => SLOTS_PER_SHARD slots
+        for i in 0..SLOTS_PER_SHARD as u32 {
+            pool.checkin(Box::new(i));
+        }
+        assert_eq!(pool.pooled(), SLOTS_PER_SHARD);
+        assert_eq!(pool.retired(), 0);
+        pool.checkin(Box::new(99));
+        assert_eq!(pool.pooled(), SLOTS_PER_SHARD, "full pool must not grow");
+        assert_eq!(pool.retired(), 1, "surplus item must be retired");
+    }
+
+    /// An item whose drop decrements a shared live counter, so leaks
+    /// show up as a nonzero count.
+    struct Tracked {
+        live: Arc<AtomicUsize>,
+    }
+
+    impl Tracked {
+        fn new(live: &Arc<AtomicUsize>) -> Box<Self> {
+            live.fetch_add(1, Ordering::Relaxed);
+            Box::new(Self { live: Arc::clone(live) })
+        }
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn dropping_the_pool_frees_every_pooled_item() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let pool = ShardedPool::new(4);
+        for _ in 0..10 {
+            pool.checkin(Tracked::new(&live));
+        }
+        let checked_out = pool.checkout().expect("non-empty");
+        assert!(live.load(Ordering::Relaxed) >= 1);
+        drop(pool);
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            1,
+            "pool drop must free every pooled item (one survives: it is checked out)"
+        );
+        drop(checked_out);
+        assert_eq!(live.load(Ordering::Relaxed), 0);
+    }
+
+    /// The torture invariants, at pool level: many threads, few shards,
+    /// heavy churn; no box is ever held by two threads at once, and at
+    /// the end nothing has leaked (every item is pooled, retired, or was
+    /// dropped by the drain below).
+    #[test]
+    fn torture_no_double_checkout_and_no_leaks() {
+        const THREADS: usize = 16;
+        const ROUNDS: usize = 400;
+
+        let pool = ShardedPool::new(2); // threads >> shards
+        let live = Arc::new(AtomicUsize::new(0));
+        let created = AtomicUsize::new(0);
+        let out = Mutex::new(HashSet::<usize>::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let (pool, live, created, out) = (&pool, &live, &created, &out);
+                scope.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let item = pool.checkout().unwrap_or_else(|| {
+                            created.fetch_add(1, Ordering::Relaxed);
+                            Tracked::new(live)
+                        });
+                        let addr = &*item as *const Tracked as usize;
+                        assert!(
+                            out.lock().expect("out set").insert(addr),
+                            "item {addr:#x} checked out by two threads at once"
+                        );
+                        std::hint::spin_loop();
+                        assert!(out.lock().expect("out set").remove(&addr));
+                        pool.checkin(item);
+                    }
+                });
+            }
+        });
+
+        assert!(out.lock().expect("out set").is_empty());
+        let created = created.load(Ordering::Relaxed);
+        let accounted = pool.pooled() + pool.retired() as usize;
+        assert_eq!(
+            created, accounted,
+            "every created item must be pooled or retired once the churn stops"
+        );
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            pool.pooled(),
+            "live items == pooled items (retired ones were dropped)"
+        );
+        drop(pool);
+        assert_eq!(live.load(Ordering::Relaxed), 0, "pool drop leaked items");
+    }
+
+    #[test]
+    fn mutex_pool_round_trips() {
+        let pool = MutexPool::new();
+        assert!(pool.checkout().is_none());
+        pool.checkin(Box::new(5u32));
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(*pool.checkout().expect("item"), 5);
+        assert_eq!(pool.pooled(), 0);
+    }
+}

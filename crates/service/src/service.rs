@@ -3,7 +3,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use rand::SeedableRng;
 
@@ -12,9 +12,30 @@ use renaming_core::{FastRng, Name, RenamingError};
 use crate::builder::NameServiceBuilder;
 use crate::guard::NameGuard;
 use crate::namespace::{PooledSession, ServiceBackend};
+use crate::pool::{MutexPool, PoolKind, ShardedPool};
 use crate::Algorithm;
 
 /// How [`NameService`] seeds the per-worker coin-flip streams.
+///
+/// # Example
+///
+/// Fixed seeding makes single-threaded acquisition sequences a pure
+/// function of the builder configuration:
+///
+/// ```
+/// use renaming_service::{Algorithm, NameService, SeedPolicy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let run = || -> Result<Vec<usize>, Box<dyn std::error::Error>> {
+///     let service = NameService::builder(Algorithm::Rebatching, 16)
+///         .seed_policy(SeedPolicy::Fixed(42))
+///         .build()?;
+///     Ok((0..10).map(|_| service.acquire().map(|g| g.value()).expect("name")).collect())
+/// };
+/// assert_eq!(run()?, run()?);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SeedPolicy {
     /// Derive stream `i`'s seed deterministically from this base via a
@@ -51,10 +72,63 @@ impl SeedPolicy {
 }
 
 /// One pooled worker: a reusable machine session plus its private RNG
-/// stream.
+/// stream. The stream id (and therefore the RNG seed) is assigned once,
+/// at construction — never at checkout — so which pool slot a worker
+/// lands in has no effect on the names it produces.
 struct Worker {
     session: Box<dyn PooledSession>,
     rng: FastRng,
+}
+
+/// The checkout pool: either the sharded lock-free pool (default) or the
+/// original mutex-guarded vector (see [`PoolKind`]).
+enum SessionPool {
+    Sharded(ShardedPool<Worker>),
+    Mutex(MutexPool<Worker>),
+}
+
+impl SessionPool {
+    fn checkout(&self) -> Option<Box<Worker>> {
+        match self {
+            SessionPool::Sharded(pool) => pool.checkout(),
+            SessionPool::Mutex(pool) => pool.checkout(),
+        }
+    }
+
+    fn checkin(&self, worker: Box<Worker>) {
+        match self {
+            SessionPool::Sharded(pool) => pool.checkin(worker),
+            SessionPool::Mutex(pool) => pool.checkin(worker),
+        }
+    }
+
+    fn pooled(&self) -> usize {
+        match self {
+            SessionPool::Sharded(pool) => pool.pooled(),
+            SessionPool::Mutex(pool) => pool.pooled(),
+        }
+    }
+
+    fn retired(&self) -> u64 {
+        match self {
+            SessionPool::Sharded(pool) => pool.retired(),
+            SessionPool::Mutex(_) => 0,
+        }
+    }
+
+    fn kind(&self) -> PoolKind {
+        match self {
+            SessionPool::Sharded(_) => PoolKind::Sharded,
+            SessionPool::Mutex(_) => PoolKind::Mutex,
+        }
+    }
+
+    fn shards(&self) -> Option<usize> {
+        match self {
+            SessionPool::Sharded(pool) => Some(pool.shards()),
+            SessionPool::Mutex(_) => None,
+        }
+    }
 }
 
 /// A thread-safe, long-lived renaming service: `acquire` from any
@@ -65,11 +139,16 @@ struct Worker {
 /// register-based tournament — see [`NameServiceBuilder`]) and owns a
 /// pool of per-worker [`PooledSession`]s with private [`FastRng`]
 /// streams. An acquire checks a worker out of the pool (creating one
-/// only when the pool is empty, so the steady-state worker count equals
+/// only when the pool is empty, so the steady-state worker count tracks
 /// the peak concurrency), drives its reusable machine, and checks it
 /// back in: after warm-up, no machine construction, no RNG construction
 /// and no allocation per operation — callers just write
 /// `let guard = service.acquire()?`.
+///
+/// By default the pool is the sharded lock-free one
+/// ([`PoolKind::Sharded`]): checkout is an atomic `swap` on a
+/// cache-line-padded, thread-hinted shard slot, with work-stealing from
+/// neighboring shards, so the acquire path has no global lock at all.
 ///
 /// # Example
 ///
@@ -87,7 +166,7 @@ struct Worker {
 /// ```
 pub struct NameService {
     backend: Arc<dyn ServiceBackend>,
-    pool: Mutex<Vec<Worker>>,
+    pool: SessionPool,
     seed_policy: SeedPolicy,
     /// Next worker stream id; also the number of workers ever created.
     streams: AtomicU64,
@@ -102,11 +181,31 @@ impl NameService {
 
     /// Wraps an explicit backend — the escape hatch for backends the
     /// [`NameServiceBuilder`] enums do not cover (custom probe
-    /// schedules, counting instrumentation, hand-built objects).
+    /// schedules, counting instrumentation, hand-built objects). Uses
+    /// the default sharded pool; see
+    /// [`with_backend_pool`](Self::with_backend_pool) to choose.
     pub fn with_backend(backend: Arc<dyn ServiceBackend>, seed_policy: SeedPolicy) -> Self {
+        Self::with_backend_pool(backend, seed_policy, PoolKind::Sharded, None)
+    }
+
+    /// As [`with_backend`](Self::with_backend), additionally choosing
+    /// the session-pool implementation and (for the sharded pool) the
+    /// shard count. `shards: None` uses one shard per hardware thread.
+    pub fn with_backend_pool(
+        backend: Arc<dyn ServiceBackend>,
+        seed_policy: SeedPolicy,
+        pool: PoolKind,
+        shards: Option<usize>,
+    ) -> Self {
+        let pool = match pool {
+            PoolKind::Sharded => SessionPool::Sharded(ShardedPool::new(
+                shards.unwrap_or_else(ShardedPool::<Worker>::default_shards),
+            )),
+            PoolKind::Mutex => SessionPool::Mutex(MutexPool::new()),
+        };
         Self {
             backend,
-            pool: Mutex::new(Vec::new()),
+            pool,
             seed_policy,
             streams: AtomicU64::new(0),
         }
@@ -122,6 +221,20 @@ impl NameService {
     ///
     /// Returns [`RenamingError::NamespaceExhausted`] when the namespace
     /// cannot hold another name.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use renaming_service::{Algorithm, NameService};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let service = NameService::builder(Algorithm::FastAdaptive, 8).build()?;
+    /// let a = service.acquire()?;
+    /// let b = service.acquire()?;
+    /// assert_ne!(a.value(), b.value(), "live guards hold distinct names");
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn acquire(&self) -> Result<NameGuard<'_>, RenamingError> {
         self.acquire_name().map(|name| NameGuard::new(self, name))
     }
@@ -135,7 +248,7 @@ impl NameService {
     pub fn acquire_name(&self) -> Result<Name, RenamingError> {
         let mut worker = self.checkout();
         let result = worker.session.acquire(&mut worker.rng);
-        self.checkin(worker);
+        self.pool.checkin(worker);
         result
     }
 
@@ -151,6 +264,21 @@ impl NameService {
     /// # Panics
     ///
     /// May panic if `name` is not currently held — a caller bug.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use renaming_service::{Algorithm, NameService};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let service = NameService::builder(Algorithm::Rebatching, 4).build()?;
+    /// let name = service.acquire_name()?;
+    /// assert_eq!(service.held(), 1);
+    /// service.release_name(name)?;
+    /// assert_eq!(service.held(), 0);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn release_name(&self, name: Name) -> Result<(), RenamingError> {
         self.backend.release(name)
     }
@@ -177,14 +305,59 @@ impl NameService {
 
     /// Whether dropping a [`NameGuard`] actually recycles the name on
     /// this backend.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use renaming_service::{Algorithm, NameService, TasBackend};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let atomic = NameService::builder(Algorithm::Rebatching, 4).build()?;
+    /// assert!(atomic.supports_release());
+    ///
+    /// let tournament = NameService::builder(Algorithm::Rebatching, 4)
+    ///     .tas_backend(TasBackend::Tournament)
+    ///     .build()?;
+    /// assert!(!tournament.supports_release());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn supports_release(&self) -> bool {
         self.backend.supports_release()
     }
 
-    /// Workers created so far — equals the peak number of concurrent
-    /// acquires observed (the pool never shrinks).
+    /// Workers (sessions + RNG streams) created so far. Tracks the peak
+    /// number of concurrent acquires; under sustained overflow of a full
+    /// sharded pool it can exceed it (surplus idle workers are retired
+    /// rather than pooled without bound).
     pub fn worker_count(&self) -> usize {
         self.streams.load(Ordering::Relaxed) as usize
+    }
+
+    /// Workers currently idle in the checkout pool (advisory under
+    /// concurrency).
+    pub fn pooled_workers(&self) -> usize {
+        self.pool.pooled()
+    }
+
+    /// Workers the sharded pool has dropped because every slot was
+    /// already occupied at check-in (always `0` for the mutex pool,
+    /// which grows without bound instead). When the service is idle,
+    /// `worker_count() == pooled_workers() + retired_workers()` — the
+    /// no-leak conservation law the torture tests assert.
+    pub fn retired_workers(&self) -> u64 {
+        self.pool.retired()
+    }
+
+    /// Which session-pool implementation this service checks workers
+    /// out of.
+    pub fn pool_kind(&self) -> PoolKind {
+        self.pool.kind()
+    }
+
+    /// The sharded pool's shard count, or `None` for the mutex pool.
+    pub fn pool_shard_count(&self) -> Option<usize> {
+        self.pool.shards()
     }
 
     /// The shared backend.
@@ -192,19 +365,19 @@ impl NameService {
         &self.backend
     }
 
-    fn checkout(&self) -> Worker {
-        if let Some(worker) = self.pool.lock().expect("service pool poisoned").pop() {
+    fn checkout(&self) -> Box<Worker> {
+        if let Some(worker) = self.pool.checkout() {
             return worker;
         }
+        // Bounded slow path: only reached when every shard slot (or the
+        // mutex vector) is empty. Stream ids — and with them the RNG
+        // seeds — are fixed here, at construction, so pool placement
+        // never changes a worker's coin flips.
         let stream = self.streams.fetch_add(1, Ordering::Relaxed);
-        Worker {
+        Box::new(Worker {
             session: self.backend.open_session(),
             rng: FastRng::seed_from_u64(self.seed_policy.stream_seed(stream)),
-        }
-    }
-
-    fn checkin(&self, worker: Worker) {
-        self.pool.lock().expect("service pool poisoned").push(worker);
+        })
     }
 }
 
@@ -216,6 +389,7 @@ impl fmt::Debug for NameService {
             .field("namespace_size", &self.namespace_size())
             .field("held", &self.held())
             .field("workers", &self.worker_count())
+            .field("pool", &self.pool_kind())
             .field("seed_policy", &self.seed_policy)
             .finish()
     }
@@ -241,6 +415,7 @@ mod tests {
         assert_eq!(service.held(), 0);
         // Single-threaded use needs exactly one pooled worker.
         assert_eq!(service.worker_count(), 1);
+        assert_eq!(service.pooled_workers(), 1);
     }
 
     #[test]
@@ -274,6 +449,26 @@ mod tests {
         };
         assert_eq!(sequence(42), sequence(42));
         assert_ne!(sequence(42), sequence(43), "seeds should matter");
+    }
+
+    #[test]
+    fn both_pools_produce_identical_single_thread_sequences() {
+        let sequence = |pool: PoolKind| -> Vec<usize> {
+            let service = NameService::builder(Algorithm::Rebatching, 32)
+                .pool_kind(pool)
+                .seed_policy(SeedPolicy::Fixed(11))
+                .build()
+                .expect("build");
+            assert_eq!(service.pool_kind(), pool);
+            (0..30)
+                .map(|_| service.acquire().expect("name").value())
+                .collect()
+        };
+        assert_eq!(
+            sequence(PoolKind::Sharded),
+            sequence(PoolKind::Mutex),
+            "pool choice must be invisible to single-threaded callers"
+        );
     }
 
     #[test]
@@ -311,5 +506,34 @@ mod tests {
         let next = service.acquire().expect("name");
         assert_ne!(next.value(), value);
         let _ = next.into_name(); // leak deliberately; backend is one-shot
+    }
+
+    #[test]
+    fn sharded_service_survives_thread_churn() {
+        // More threads than shards, churn far beyond capacity: the
+        // service must neither duplicate names nor lose workers.
+        let service = NameService::builder(Algorithm::Rebatching, 16)
+            .pool_shards(1)
+            .seed_policy(SeedPolicy::Fixed(3))
+            .build()
+            .expect("build");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let service = &service;
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let guard = service.acquire().expect("within capacity");
+                        std::hint::black_box(guard.value());
+                    }
+                });
+            }
+        });
+        assert_eq!(service.held(), 0);
+        // Conservation: once idle, every worker ever created is either
+        // pooled or was retired on overflow — nothing leaks.
+        assert_eq!(
+            service.worker_count() as u64,
+            service.pooled_workers() as u64 + service.retired_workers(),
+        );
     }
 }

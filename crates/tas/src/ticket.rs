@@ -17,8 +17,7 @@ use crate::{IdTas, Tas, TasResult};
 /// register operation. The paper's reduction does not need it (there,
 /// process ids are known a priori and each process calls a TAS object at
 /// most once per identity); the counter is an artifact of exposing the
-/// object through an anonymous interface, and is documented as such in
-/// `DESIGN.md` (D6).
+/// object through an anonymous interface.
 ///
 /// Calls beyond the wrapped object's capacity lose without racing — by
 /// then the object is guaranteed decided, so this preserves TAS semantics.

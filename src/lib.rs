@@ -20,8 +20,10 @@
 //! * [`analysis`] — statistics and reporting helpers used by the
 //!   experiments.
 //!
-//! See the repository `README.md` for a quickstart and `ROADMAP.md` for
-//! the experiment harness and engine documentation.
+//! See the repository `README.md` for a quickstart, `ARCHITECTURE.md`
+//! for the layer-by-layer guide (TAS substrate → algorithms → two-tier
+//! engine → sweep harness → service), and `EXPERIMENTS.md` for the
+//! catalog of all reproduction experiments.
 //!
 //! # Example
 //!
@@ -73,6 +75,7 @@ pub use renaming_tas as tas;
 pub mod prelude {
     pub use renaming_core::{Epsilon, Name, RenamingError};
     pub use renaming_service::{
-        Algorithm, NameGuard, NameService, NameServiceBuilder, Namespace, SeedPolicy, TasBackend,
+        Algorithm, NameGuard, NameService, NameServiceBuilder, Namespace, PoolKind, SeedPolicy,
+        TasBackend,
     };
 }

@@ -1,6 +1,6 @@
 //! Real-thread stress tests for the `NameService` acquire/release API.
 //!
-//! Three guarantees under test:
+//! Four guarantees under test:
 //!
 //! 1. **Cross-thread uniqueness** — all concurrently held [`NameGuard`]s
 //!    carry distinct names (checked live, per acquisition, via a per-slot
@@ -10,7 +10,11 @@
 //!    exhausts it, and the service drains to zero held names.
 //! 3. **Reproducibility** — under a fixed seed policy, a single-threaded
 //!    acquisition sequence is a pure function of the builder
-//!    configuration.
+//!    configuration, and byte-identical across session-pool
+//!    implementations (pinned against the PR 3 mutex-pool sequences).
+//! 4. **Pool integrity** — the sharded lock-free pool never hands one
+//!    session to two threads at once and never leaks workers, even with
+//!    far more threads than shards and churn far beyond capacity.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -20,10 +24,23 @@ use loose_renaming::prelude::*;
 /// threads, each cycling `iterations` times, with a live occupancy table
 /// asserting cross-thread uniqueness at every hold.
 fn stress(algorithm: Algorithm, threads: usize, iterations: usize) {
-    let service = NameService::builder(algorithm, threads)
-        .seed_policy(SeedPolicy::Fixed(0xA11CE))
-        .build()
-        .expect("build");
+    stress_with_pool(algorithm, threads, iterations, PoolKind::Sharded, None);
+}
+
+fn stress_with_pool(
+    algorithm: Algorithm,
+    threads: usize,
+    iterations: usize,
+    pool: PoolKind,
+    shards: Option<usize>,
+) {
+    let mut builder = NameService::builder(algorithm, threads)
+        .pool_kind(pool)
+        .seed_policy(SeedPolicy::Fixed(0xA11CE));
+    if let Some(shards) = shards {
+        builder = builder.pool_shards(shards);
+    }
+    let service = builder.build().expect("build");
     assert!(service.supports_release());
     let occupied: Vec<AtomicBool> = (0..service.namespace_size())
         .map(|_| AtomicBool::new(false))
@@ -63,6 +80,14 @@ fn stress(algorithm: Algorithm, threads: usize, iterations: usize) {
     // The churn performed far more acquisitions than the namespace has
     // slots — only recycling makes that possible.
     assert!(threads * iterations > 2 * service.namespace_size());
+    // Worker conservation: once idle, every session ever opened is
+    // pooled or was retired on overflow — the pool leaks nothing.
+    assert_eq!(
+        service.worker_count() as u64,
+        service.pooled_workers() as u64 + service.retired_workers(),
+        "sessions leaked by the {:?} pool",
+        service.pool_kind(),
+    );
 }
 
 #[test]
@@ -149,30 +174,88 @@ fn fixed_seed_sequences_are_reproducible_per_backend() {
         Algorithm::FastAdaptive,
         Algorithm::Uniform,
     ] {
-        let run = || -> Vec<usize> {
-            let service = NameService::builder(algorithm, 32)
-                .seed_policy(SeedPolicy::Fixed(99))
-                .build()
-                .expect("build");
-            // Mixed workload: hold a few, release a few, single thread.
-            let mut values = Vec::new();
-            let mut held = Vec::new();
-            for i in 0..40 {
-                let guard = service.acquire().expect("within capacity");
-                values.push(guard.value());
-                if i % 3 == 0 {
-                    held.push(guard); // hold on
-                } else {
-                    drop(guard); // recycle now
-                }
-                if held.len() > 8 {
-                    held.clear(); // bulk release
-                }
-            }
-            values
-        };
+        let run = || fixed_seed_sequence(algorithm, PoolKind::Sharded, 99, 40);
         assert_eq!(run(), run(), "{algorithm:?}: fixed seed must reproduce");
     }
+}
+
+/// The mixed hold/release single-thread workload used for the golden
+/// sequences below (and by `fixed_seed_sequences_are_reproducible_per_backend`).
+fn fixed_seed_sequence(algorithm: Algorithm, pool: PoolKind, seed: u64, n: usize) -> Vec<usize> {
+    let service = NameService::builder(algorithm, 32)
+        .pool_kind(pool)
+        .seed_policy(SeedPolicy::Fixed(seed))
+        .build()
+        .expect("build");
+    let mut values = Vec::new();
+    let mut held = Vec::new();
+    for i in 0..n {
+        let guard = service.acquire().expect("within capacity");
+        values.push(guard.value());
+        if i % 3 == 0 {
+            held.push(guard);
+        } else {
+            drop(guard);
+        }
+        if held.len() > 8 {
+            held.clear();
+        }
+    }
+    values
+}
+
+/// Golden sequences captured from the PR 3 `Mutex<Vec<_>>`-pool service
+/// (seed `0xD0C5`, capacity 32, the mixed workload above). The sharded
+/// pool — and any future pool — must reproduce them byte-for-byte:
+/// stream ids are assigned at session construction, so single-threaded
+/// fixed-seed output is part of the service's compatibility contract.
+#[test]
+fn fixed_seed_sequences_match_pr3_golden_values() {
+    let golden: [(Algorithm, &[usize]); 4] = [
+        (
+            Algorithm::Rebatching,
+            &[9, 20, 21, 13, 29, 19, 0, 19, 29, 30, 18, 14, 17, 6, 21, 1, 4, 24, 24, 26, 3, 26, 29, 8],
+        ),
+        (
+            Algorithm::Adaptive,
+            &[0, 1, 1, 1, 2, 2, 2, 5, 7, 6, 5, 4, 4, 7, 7, 7, 5, 5, 5, 9, 8, 9, 8, 8],
+        ),
+        (
+            Algorithm::FastAdaptive,
+            &[0, 1, 1, 1, 2, 2, 2, 5, 7, 6, 5, 4, 4, 7, 7, 7, 5, 5, 5, 8, 8, 8, 9, 9],
+        ),
+        (
+            Algorithm::Uniform,
+            &[18, 40, 43, 27, 59, 38, 1, 38, 58, 60, 37, 29, 34, 12, 43, 3, 8, 49, 48, 53, 7, 52, 59, 16],
+        ),
+    ];
+    for (algorithm, expected) in golden {
+        for pool in [PoolKind::Sharded, PoolKind::Mutex] {
+            assert_eq!(
+                fixed_seed_sequence(algorithm, pool, 0xD0C5, expected.len()),
+                expected,
+                "{algorithm:?} over the {pool:?} pool diverged from the PR 3 sequence"
+            );
+        }
+    }
+}
+
+/// Torture the sharded pool itself: threads ≫ shards (16 threads on a
+/// single shard) and churn ≫ capacity. The live occupancy table proves
+/// no name — and therefore no session result — is duplicated, and the
+/// conservation check inside `stress_with_pool` proves no session is
+/// lost to the overflow path.
+#[test]
+fn sharded_pool_torture_threads_far_exceed_shards() {
+    stress_with_pool(Algorithm::Rebatching, 16, 300, PoolKind::Sharded, Some(1));
+    stress_with_pool(Algorithm::FastAdaptive, 12, 150, PoolKind::Sharded, Some(2));
+}
+
+/// The mutex pool remains selectable and correct — it is the measured
+/// baseline in `service_throughput`.
+#[test]
+fn mutex_pool_still_serves_concurrent_churn() {
+    stress_with_pool(Algorithm::Rebatching, 8, 150, PoolKind::Mutex, None);
 }
 
 #[test]
