@@ -1,19 +1,32 @@
 //! Service throughput: acquire/release operations per second through the
-//! `NameService` front-end, across backends, session pools and thread
-//! counts.
+//! `NameService` front-end, across backends, session pools, TAS
+//! substrates and thread counts.
 //!
 //! Not a paper claim — this experiment tracks the service layer the API
 //! redesign introduced: real OS threads hammer one `NameService` with
 //! acquire/drop cycles (guard drop releases the name), for every
 //! algorithm selectable through `NameServiceBuilder` on the atomic TAS
 //! backend, once per session-pool implementation (the sharded lock-free
-//! pool vs the original `Mutex<Vec<_>>` checkout). Beyond raw ops/sec,
-//! the run is a correctness soak: every cycle must succeed within
-//! capacity, and the namespace must drain to zero held names at the end.
+//! pool vs the original `Mutex<Vec<_>>` checkout). The thread axis is
+//! driven by the harness's `--threads` flag (powers of two up to it)
+//! rather than a pinned 1/2/4.
+//!
+//! Since the register substrate became long-lived, the run also sweeps
+//! the **tournament backend under acquire/release churn** for the
+//! paper's three algorithms — every cycle recycles its name through the
+//! epoch-stamped tree reset — and proves the O(1) reset claim directly:
+//! using the tournament's register-operation instrumentation, it asserts
+//! that a reset performs *zero* node register operations (an epoch bump,
+//! not an `O(node_count)` rebuild).
+//!
+//! Beyond raw ops/sec, the run is a correctness soak: every cycle must
+//! succeed within capacity, and every namespace must drain to zero held
+//! names at the end.
 //!
 //! Results land in the harness records and in `BENCH_service.json` — the
 //! CI artifact tracking the service's perf trajectory across PRs,
-//! including the pooled-vs-sharded scaling curves side by side.
+//! including the pooled-vs-sharded scaling curves side by side and the
+//! tournament churn curves.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -21,7 +34,9 @@ use std::time::Instant;
 use serde_json::{json, Value};
 
 use renaming_analysis::Table;
-use renaming_service::{Algorithm, NameService, PoolKind, SeedPolicy};
+use renaming_service::{Algorithm, NameService, PoolKind, SeedPolicy, TasBackend};
+use renaming_tas::rwtas::TournamentTas;
+use renaming_tas::{ResettableTas, Tas, TicketTas};
 
 use crate::experiments::{header, verdict};
 use crate::Harness;
@@ -29,9 +44,14 @@ use crate::Harness;
 /// Where the JSON artifact lands (relative to the working directory).
 pub const ARTIFACT_PATH: &str = "BENCH_service.json";
 
-/// Capacity every service is provisioned for; thread counts stay below
-/// it so each acquire must succeed.
+/// Capacity every atomic-backend service is provisioned for; thread
+/// counts stay below it so each acquire must succeed.
 const CAPACITY: usize = 64;
+
+/// Capacity for the tournament-backend churn cells. Smaller: every slot
+/// carries an `O(capacity)`-node register tree and each probe costs
+/// `Θ(log capacity)` register operations.
+const TOURNAMENT_CAPACITY: usize = 16;
 
 /// Timed repetitions per (backend, pool, threads) point; the best
 /// ops/sec is reported, as in the engine throughput experiment, so a
@@ -39,6 +59,9 @@ const CAPACITY: usize = 64;
 /// are measured back-to-back within each (backend, threads) cell so
 /// slow machine-wide drift cancels out of their ratio.
 const REPS: usize = 5;
+
+/// Repetitions for the (much slower) tournament churn cells.
+const TOURNAMENT_REPS: usize = 3;
 
 struct Measurement {
     ops: u64,
@@ -53,6 +76,21 @@ impl Measurement {
             self.ops as f64 / self.seconds
         }
     }
+}
+
+/// The thread axis: powers of two up to the harness's `--threads`
+/// setting, always ending exactly there (so `--threads 6` sweeps
+/// 1, 2, 4, 6). Replaces the previously pinned 1/2/4.
+fn thread_sweep(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut counts = Vec::new();
+    let mut t = 1;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    counts.push(max);
+    counts
 }
 
 /// `threads` OS threads each run `ops_per_thread` acquire/drop cycles
@@ -79,6 +117,19 @@ fn hammer(service: &NameService, threads: usize, ops_per_thread: usize) -> Measu
     }
 }
 
+fn best_of(service: &NameService, threads: usize, ops_per_thread: usize, reps: usize) -> Measurement {
+    // Warm the worker pool (first acquires construct sessions).
+    hammer(service, threads, 50);
+    let mut best = hammer(service, threads, ops_per_thread);
+    for _ in 1..reps {
+        let m = hammer(service, threads, ops_per_thread);
+        if m.ops_per_sec() > best.ops_per_sec() {
+            best = m;
+        }
+    }
+    best
+}
+
 fn pool_label(pool: PoolKind) -> &'static str {
     match pool {
         PoolKind::Sharded => "sharded",
@@ -87,20 +138,22 @@ fn pool_label(pool: PoolKind) -> &'static str {
 }
 
 /// The `service_throughput` experiment: acquire/release ops/sec through
-/// `NameService` for every atomic-backend algorithm, for both session
-/// pools, at 1, 2 and 4 threads, plus a post-run drain check and a
-/// sharded-vs-mutex comparison per backend. Writes `BENCH_service.json`.
+/// `NameService` for every atomic-backend algorithm (both session pools)
+/// and for the paper algorithms on the long-lived tournament substrate,
+/// across a `--threads`-driven sweep, plus a post-run drain check, a
+/// sharded-vs-mutex comparison per backend and an O(1)-reset proof for
+/// the register trees. Writes `BENCH_service.json`.
 pub fn service_throughput(h: &mut Harness) -> String {
     let mut out = header(
         "service_throughput",
-        "NameService: acquire/release ops/sec per backend, pool and thread count (tooling)",
+        "Service: NameService acquire/release ops/sec per backend, pool, TAS substrate (tooling)",
     );
     let ops_per_thread = if h.quick() { 10_000 } else { 60_000 };
-    let thread_counts = [1usize, 2, 4];
+    let thread_counts = thread_sweep(h.threads().min(CAPACITY));
     let max_threads = *thread_counts.last().expect("non-empty");
     let pools = [PoolKind::Mutex, PoolKind::Sharded];
 
-    let mut table = Table::new(["backend", "pool", "threads", "ops", "Kops/s", "drained"]);
+    let mut table = Table::new(["backend", "tas", "pool", "threads", "ops", "Kops/s", "drained"]);
     let mut rows: Vec<Value> = Vec::new();
     let mut comparison: Vec<Value> = Vec::new();
     let mut all_drained = true;
@@ -119,21 +172,14 @@ pub fn service_throughput(h: &mut Harness) -> String {
                     .seed_policy(SeedPolicy::Fixed(h.seed()))
                     .build()
                     .expect("service builds for every algorithm");
-                // Warm the worker pool (first acquires construct sessions).
-                hammer(&service, threads, 50);
-                let mut best = hammer(&service, threads, ops_per_thread);
-                for _ in 1..REPS {
-                    let m = hammer(&service, threads, ops_per_thread);
-                    if m.ops_per_sec() > best.ops_per_sec() {
-                        best = m;
-                    }
-                }
+                let best = best_of(&service, threads, ops_per_thread, REPS);
                 let drained = service.held() == 0;
                 all_drained &= drained;
                 backend_label = service.algorithm();
                 curve[pool_idx][thread_idx] = best.ops_per_sec();
                 table.row([
                     service.algorithm().to_string(),
+                    "atomic".to_string(),
                     pool_label(pool).to_string(),
                     threads.to_string(),
                     best.ops.to_string(),
@@ -142,6 +188,7 @@ pub fn service_throughput(h: &mut Harness) -> String {
                 ]);
                 rows.push(json!({
                     "backend": service.algorithm(),
+                    "tas": "atomic",
                     "pool": pool_label(pool),
                     "pool_shards": service.pool_shard_count(),
                     "threads": threads,
@@ -153,6 +200,7 @@ pub fn service_throughput(h: &mut Harness) -> String {
                     "service_throughput",
                     json!({
                         "backend": service.algorithm(),
+                        "tas": "atomic",
                         "pool": pool_label(pool),
                         "threads": threads,
                         "capacity": CAPACITY
@@ -170,7 +218,7 @@ pub fn service_throughput(h: &mut Harness) -> String {
         }
         comparison.push(json!({
             "backend": backend_label,
-            "threads": thread_counts.to_vec(),
+            "threads": thread_counts.clone(),
             "mutex_ops_per_sec": mutex,
             "sharded_ops_per_sec": sharded,
             "sharded_over_mutex_at_1_thread": at_1,
@@ -182,19 +230,114 @@ pub fn service_throughput(h: &mut Harness) -> String {
         );
     }
 
+    // ---- Tournament substrate: acquire/release churn curves. ----
+    //
+    // Every cycle recycles its name through the slot's epoch-stamped
+    // reset; total cycles dwarf both the namespace and every slot's
+    // per-epoch ticket window, so these cells double as the long-lived
+    // soak for the register substrate.
+    let tournament_ops = if h.quick() { 1_000 } else { 8_000 };
+    let tournament_threads: Vec<usize> = thread_counts
+        .iter()
+        .copied()
+        .filter(|&t| t <= TOURNAMENT_CAPACITY)
+        .collect();
+    let mut tournament_rows: Vec<Value> = Vec::new();
+    for algorithm in [Algorithm::Rebatching, Algorithm::Adaptive, Algorithm::FastAdaptive] {
+        let mut curve = Vec::new();
+        for &threads in &tournament_threads {
+            let service = NameService::builder(algorithm, TOURNAMENT_CAPACITY)
+                .tas_backend(TasBackend::Tournament)
+                .seed_policy(SeedPolicy::Fixed(h.seed()))
+                .build()
+                .expect("tournament service builds");
+            assert!(service.supports_release(), "tournament must be long-lived");
+            let best = best_of(&service, threads, tournament_ops, TOURNAMENT_REPS);
+            let drained = service.held() == 0;
+            all_drained &= drained;
+            curve.push(best.ops_per_sec());
+            table.row([
+                service.algorithm().to_string(),
+                "tournament".to_string(),
+                pool_label(PoolKind::Sharded).to_string(),
+                threads.to_string(),
+                best.ops.to_string(),
+                format!("{:.0}", best.ops_per_sec() / 1e3),
+                if drained { "yes".into() } else { "NO".to_string() },
+            ]);
+            tournament_rows.push(json!({
+                "backend": service.algorithm(),
+                "tas": "tournament",
+                "pool": pool_label(PoolKind::Sharded),
+                "threads": threads,
+                "capacity": TOURNAMENT_CAPACITY,
+                "ops": best.ops,
+                "ops_per_sec": best.ops_per_sec(),
+                "drained": drained
+            }));
+            h.record(
+                "service_throughput",
+                json!({
+                    "backend": service.algorithm(),
+                    "tas": "tournament",
+                    "pool": pool_label(PoolKind::Sharded),
+                    "threads": threads,
+                    "capacity": TOURNAMENT_CAPACITY
+                }),
+                json!({"ops": best.ops, "ops_per_sec": best.ops_per_sec(), "drained": drained}),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{algorithm:?} over the tournament substrate: {:.0} .. {:.0} Kops/s across {:?} threads (every cycle epoch-resets its slot)",
+            curve.first().copied().unwrap_or(0.0) / 1e3,
+            curve.last().copied().unwrap_or(0.0) / 1e3,
+            tournament_threads,
+        );
+    }
+
+    // ---- O(1) reset proof, via the counting instrumentation. ----
+    //
+    // A reset must be a pure epoch bump: win a slot, reset it, and
+    // assert the register-operation counters across all of the tree's
+    // nodes did not move — i.e. the cost is independent of node_count()
+    // — and that the slot is immediately winnable again.
+    let slot = TicketTas::new(TournamentTas::new(TOURNAMENT_CAPACITY));
+    assert!(slot.test_and_set().won(), "fresh slot must be winnable");
+    let ops_before_reset = slot.inner().register_ops();
+    slot.reset();
+    let reset_register_ops = slot.inner().register_ops() - ops_before_reset;
+    let reset_is_epoch_bump = reset_register_ops == 0;
+    let reacquired = slot.test_and_set().won();
+    let _ = writeln!(
+        out,
+        "tournament reset: {reset_register_ops} register ops across {} nodes (epoch bump), slot winnable again: {reacquired}",
+        slot.inner().node_count(),
+    );
+
     let artifact = json!({
         "experiment": "service_throughput",
         "mode": if h.quick() { "quick" } else { "full" },
         "seed": h.seed(),
         "capacity": CAPACITY,
+        "tournament_capacity": TOURNAMENT_CAPACITY,
         "reps": REPS,
+        "threads_sweep": thread_counts,
         "reproduce": format!(
-            "cargo run -p renaming-bench --release --bin experiments -- service_throughput{} --seed {}",
+            "cargo run -p renaming-bench --release --bin experiments -- service_throughput{} --seed {} --threads {}",
             if h.quick() { " --quick" } else { "" },
-            h.seed()
+            h.seed(),
+            h.threads()
         ),
         "rows": rows,
-        "pool_comparison": comparison
+        "pool_comparison": comparison,
+        "tournament_churn": tournament_rows,
+        "tournament_reset": {
+            "register_ops": reset_register_ops,
+            "node_count": slot.inner().node_count(),
+            "is_epoch_bump": reset_is_epoch_bump,
+            "reacquired_after_reset": reacquired
+        }
     });
     match serde_json::to_string(&artifact) {
         Ok(text) => match std::fs::write(ARTIFACT_PATH, text + "\n") {
@@ -216,8 +359,8 @@ pub fn service_throughput(h: &mut Harness) -> String {
         "sharded pool faster than mutex pool at {max_threads} threads on {sharded_wins_at_max}/{backends} backends"
     );
     out.push_str(&verdict(
-        all_drained,
-        "every backend completed all acquire/release cycles and drained to 0 held names",
+        all_drained && reset_is_epoch_bump && reacquired,
+        "every backend (incl. tournament churn) completed all acquire/release cycles, drained to 0 held names, and reset cost 0 register ops",
     ));
     out
 }
@@ -227,8 +370,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_mode_passes_and_covers_every_backend_and_pool() {
-        let mut h = Harness::new(true, 5);
+    fn thread_sweep_is_driven_by_the_thread_knob() {
+        assert_eq!(thread_sweep(1), vec![1]);
+        assert_eq!(thread_sweep(2), vec![1, 2]);
+        assert_eq!(thread_sweep(4), vec![1, 2, 4]);
+        assert_eq!(thread_sweep(6), vec![1, 2, 4, 6]);
+        assert_eq!(thread_sweep(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(thread_sweep(0), vec![1], "clamped to at least one thread");
+    }
+
+    #[test]
+    fn quick_mode_passes_and_covers_every_backend_pool_and_substrate() {
+        let mut h = Harness::with_threads(true, 5, 2);
         let report = service_throughput(&mut h);
         assert!(report.contains("[PASS]"), "{report}");
         for label in [
@@ -241,6 +394,8 @@ mod tests {
             "doubling-uniform",
             " sharded ",
             " mutex ",
+            " tournament ",
+            "epoch bump",
         ] {
             assert!(report.contains(label), "missing {label} in:\n{report}");
         }

@@ -25,7 +25,9 @@ pub enum RenamingError {
     },
     /// The object's TAS substrate cannot recycle names: `release` is only
     /// available on resettable backends (see `renaming_tas::ResettableTas`).
-    /// The register-based tournament, for example, is one-shot.
+    /// No built-in substrate reports this anymore — the register-based
+    /// tournament became resettable via epoch-stamped O(1) resets — but
+    /// the variant remains for custom one-shot backends.
     ReleaseUnsupported {
         /// The backend that rejected the release.
         backend: &'static str,

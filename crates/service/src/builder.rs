@@ -79,21 +79,23 @@ impl Algorithm {
 ///
 /// # Example
 ///
-/// The tournament substrate acquires but cannot recycle:
+/// Both substrates are long-lived — the tournament recycles names
+/// through its epoch-stamped O(1) reset, so churn far beyond the
+/// namespace size never exhausts it:
 ///
 /// ```
-/// use renaming_service::{Algorithm, NameService, RenamingError, TasBackend};
+/// use renaming_service::{Algorithm, NameService, TasBackend};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let service = NameService::builder(Algorithm::Rebatching, 4)
 ///     .tas_backend(TasBackend::Tournament)
 ///     .build()?;
-/// assert!(!service.supports_release());
-/// let name = service.acquire()?.into_name();
-/// assert!(matches!(
-///     service.release_name(name),
-///     Err(RenamingError::ReleaseUnsupported { .. })
-/// ));
+/// assert!(service.supports_release());
+/// for _ in 0..40 {
+///     let guard = service.acquire()?;
+///     assert!(guard.value() < service.namespace_size());
+/// } // each drop releases: an epoch bump on the name's register tree
+/// assert_eq!(service.held(), 0);
 /// # Ok(())
 /// # }
 /// ```
@@ -104,10 +106,12 @@ pub enum TasBackend {
     Atomic,
     /// The register-based tournament ([`TournamentTas`] behind a
     /// ticketing adapter) — the §2/footnote-1 substitute built from
-    /// read/write registers only. One-shot: guards do not recycle names
-    /// (see [`RenamingError::ReleaseUnsupported`]), and memory is
-    /// `O(capacity)` *per slot*, so reserve it for demonstrations and
-    /// small capacities.
+    /// read/write registers only. Long-lived like the atomic backend:
+    /// releasing a name bumps its slot's epoch (O(1), no tree rebuild)
+    /// and reissues the slot's contender tickets. Memory is
+    /// `O(capacity)` *per slot* and every probe costs `Θ(log capacity)`
+    /// register operations, so reserve it for demonstrations and small
+    /// capacities.
     Tournament,
 }
 
@@ -253,12 +257,16 @@ impl NameServiceBuilder {
     }
 
     fn build_tournament(self) -> Result<Arc<dyn ServiceBackend>, RenamingError> {
-        // Contenders per slot: every probe of a slot burns one ticket, and
-        // a process may probe the same slot more than once across batches
-        // and the backup scan, so provision double the capacity. Calls
-        // beyond that lose without racing (`TicketTas`), which at worst
-        // surfaces as NamespaceExhausted, never as a safety violation.
-        let contenders = 2 * self.capacity;
+        // Contenders per slot *per epoch*: every probe of a slot burns one
+        // of its current epoch's tickets, and the window is reissued on
+        // every release (the epoch bump), so the budget only has to cover
+        // the probes that land between a win and its release — bounded by
+        // the concurrent acquirers, i.e. by capacity. Provision double
+        // that (floored for tiny services). A slot that does drain an
+        // epoch keeps losing cleanly until its holder releases, which at
+        // worst surfaces as NamespaceExhausted, never as a safety
+        // violation — and the release replenishes it.
+        let contenders = (2 * self.capacity).max(8);
         let slots = |len: usize| -> Arc<TasArray<TournamentSlot>> {
             Arc::new(TasArray::from_slots(
                 (0..len)
@@ -329,17 +337,23 @@ mod tests {
     }
 
     #[test]
-    fn tournament_backend_builds_for_every_algorithm() {
+    fn tournament_backend_builds_and_recycles_for_every_algorithm() {
         for algorithm in Algorithm::all() {
             let service = NameServiceBuilder::new(algorithm, 4)
                 .tas_backend(TasBackend::Tournament)
                 .seed_policy(SeedPolicy::Fixed(5))
                 .build()
                 .unwrap_or_else(|e| panic!("{algorithm:?}: {e}"));
-            assert!(!service.supports_release(), "{algorithm:?}");
-            let guard = service.acquire().unwrap_or_else(|e| panic!("{algorithm:?}: {e}"));
-            assert!(guard.value() < service.namespace_size(), "{algorithm:?}");
-            let _ = guard.into_name(); // one-shot backend: nothing to release
+            assert!(service.supports_release(), "{algorithm:?}");
+            // Churn beyond the per-epoch ticket budget: only the epoch
+            // reset on release makes this terminate successfully.
+            for _ in 0..30 {
+                let guard = service
+                    .acquire()
+                    .unwrap_or_else(|e| panic!("{algorithm:?}: {e}"));
+                assert!(guard.value() < service.namespace_size(), "{algorithm:?}");
+            }
+            assert_eq!(service.held(), 0, "{algorithm:?}: drops must recycle");
         }
     }
 

@@ -15,11 +15,12 @@ use crate::NameService;
 /// guarantee — so the value can be used as a dense slot index into
 /// shared arrays (announcement tables, striped counters, ...).
 ///
-/// On a backend without release support (see
-/// [`NameService::supports_release`]) dropping the guard leaks the name
-/// by design: the slot stays taken for the service's lifetime. Call
-/// [`release`](Self::release) instead of dropping to observe that
-/// outcome explicitly.
+/// Every built-in backend recycles on drop: atomic slots reset their
+/// flag, tournament slots bump their epoch (both O(1)). Only a custom
+/// [`Namespace`](crate::Namespace) implementation without release
+/// support (see [`NameService::supports_release`]) leaks the name on
+/// drop; call [`release`](Self::release) instead of dropping to observe
+/// the backend's answer explicitly.
 ///
 /// # Example
 ///
@@ -73,27 +74,26 @@ impl<'s> NameGuard<'s> {
     ///
     /// # Errors
     ///
-    /// Returns [`RenamingError::ReleaseUnsupported`] on one-shot
-    /// backends; the name stays taken.
+    /// Returns [`RenamingError::ReleaseUnsupported`] if a custom
+    /// backend is one-shot (no built-in backend is — the register
+    /// tournament recycles through its epoch-stamped reset); the name
+    /// then stays taken.
     ///
     /// # Example
     ///
-    /// The register-based tournament cannot recycle names, and explicit
-    /// release is how a caller observes that:
+    /// Explicit release works on every built-in substrate, including
+    /// the register-based tournament:
     ///
     /// ```
-    /// use renaming_service::{Algorithm, NameService, RenamingError, TasBackend};
+    /// use renaming_service::{Algorithm, NameService, TasBackend};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let service = NameService::builder(Algorithm::Rebatching, 4)
     ///     .tas_backend(TasBackend::Tournament)
     ///     .build()?;
     /// let guard = service.acquire()?;
-    /// assert!(matches!(
-    ///     guard.release(),
-    ///     Err(RenamingError::ReleaseUnsupported { .. })
-    /// ));
-    /// assert_eq!(service.held(), 1, "the slot stays taken");
+    /// guard.release()?;
+    /// assert_eq!(service.held(), 0, "the slot reopened");
     /// # Ok(())
     /// # }
     /// ```
@@ -137,8 +137,9 @@ impl Deref for NameGuard<'_> {
 impl Drop for NameGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            // One-shot backends reject the release; leaking the slot is
-            // the documented drop behaviour there.
+            // A custom one-shot backend would reject the release; leaking
+            // the slot is the documented drop behaviour there. Built-in
+            // backends always accept.
             let _ = self.service.release_name(self.name);
         }
     }

@@ -18,18 +18,27 @@ use renaming_tas::{AtomicTas, CountingTas, ResettableTas, Tas, TicketTas};
 /// [`TournamentTas`] per name, adapted to the anonymous [`Tas`] interface
 /// by ticketing.
 ///
+/// Long-lived: the slot implements [`ResettableTas`] through the
+/// tournament's epoch stamps — a release is a single O(1) epoch bump
+/// that reopens the tree and reissues the ticket window, so
+/// tournament-backed namespaces recycle names exactly like the atomic
+/// ones.
+///
 /// # Example
 ///
-/// The slot behaves like any one-shot TAS — first caller wins:
+/// The slot behaves like any resettable TAS — first caller per epoch
+/// wins:
 ///
 /// ```
 /// use renaming_service::TournamentSlot;
 /// use renaming_tas::rwtas::TournamentTas;
-/// use renaming_tas::{Tas, TasResult, TicketTas};
+/// use renaming_tas::{ResettableTas, Tas, TasResult, TicketTas};
 ///
 /// let slot: TournamentSlot = TicketTas::new(TournamentTas::new(4));
 /// assert_eq!(slot.test_and_set(), TasResult::Won);
 /// assert_eq!(slot.test_and_set(), TasResult::Lost);
+/// slot.reset(); // O(1) epoch bump: the slot is a name being released
+/// assert_eq!(slot.test_and_set(), TasResult::Won);
 /// ```
 pub type TournamentSlot = TicketTas<TournamentTas>;
 
@@ -73,9 +82,10 @@ pub type CountingSlot = CountingTas<AtomicTas>;
 ///
 /// This is the interchangeable-backend trait of the `renaming-service`
 /// crate: the paper's three algorithms and all four baselines implement
-/// it over hardware atomics, and acquire-only over the register-based
-/// tournament substrate. Object-safe, so heterogeneous backends can sit
-/// behind `Arc<dyn Namespace>`.
+/// it over hardware atomics *and* over the register-based tournament
+/// substrate (long-lived there too, via the tournament's epoch-stamped
+/// O(1) reset). Object-safe, so heterogeneous backends can sit behind
+/// `Arc<dyn Namespace>`.
 ///
 /// # Contract
 ///
@@ -120,8 +130,11 @@ pub trait Namespace: Send + Sync {
     ///
     /// # Errors
     ///
-    /// Returns [`RenamingError::ReleaseUnsupported`] on one-shot
-    /// backends (the register-based tournament).
+    /// Returns [`RenamingError::ReleaseUnsupported`] on a one-shot
+    /// backend. Every built-in backend — atomic, counting and the
+    /// epoch-resettable register tournament — supports release; the
+    /// error remains for custom `Namespace` implementations over
+    /// non-resettable substrates.
     ///
     /// # Panics
     ///
@@ -244,14 +257,13 @@ pub trait ServiceBackend: Namespace {
 
 /// Implements `Namespace` + `ServiceBackend` for a concrete object type.
 ///
-/// `release` (resettable backends): releases go to the object's
+/// Every backend is long-lived (`release`): releases go to the object's
 /// `release_name`, and acquires run in recycling mode so the adaptive
-/// algorithms' superseded search wins return to the namespace.
-///
-/// `one_shot` (the tournament substrate, whose decision is spread over a
-/// register tree that cannot be reset while late losers may still be
-/// walking it): releases return `ReleaseUnsupported`, and acquires keep
-/// the paper's one-shot accounting.
+/// algorithms' superseded search wins return to the namespace. The
+/// register-tournament slots joined this path when they gained the
+/// epoch-stamped reset ([`TournamentSlot`] implements [`ResettableTas`]);
+/// the former `one_shot` arm — `ReleaseUnsupported`, leak-on-drop — is
+/// gone.
 macro_rules! impl_namespace {
     ($ty:ty, $label:literal, $size:ident, release) => {
         impl ServiceBackend for $ty {
@@ -270,27 +282,6 @@ macro_rules! impl_namespace {
 
             fn supports_release(&self) -> bool {
                 true
-            }
-        }
-    };
-    ($ty:ty, $label:literal, $size:ident, one_shot) => {
-        impl ServiceBackend for $ty {
-            fn open_session(&self) -> Box<dyn PooledSession> {
-                Box::new(self.session())
-            }
-        }
-
-        impl Namespace for $ty {
-            impl_namespace!(@shared $label, $size, get_name);
-
-            fn release(&self, _name: Name) -> Result<(), RenamingError> {
-                Err(RenamingError::ReleaseUnsupported {
-                    backend: "tournament",
-                })
-            }
-
-            fn supports_release(&self) -> bool {
-                false
             }
         }
     };
@@ -329,13 +320,13 @@ impl_namespace!(Rebatching<CountingSlot>, "rebatching", namespace_size, release)
 impl_namespace!(AdaptiveRebatching<CountingSlot>, "adaptive-rebatching", total_size, release);
 impl_namespace!(FastAdaptiveRebatching<CountingSlot>, "fast-adaptive-rebatching", total_size, release);
 
-impl_namespace!(Rebatching<TournamentSlot>, "rebatching", namespace_size, one_shot);
-impl_namespace!(AdaptiveRebatching<TournamentSlot>, "adaptive-rebatching", total_size, one_shot);
-impl_namespace!(FastAdaptiveRebatching<TournamentSlot>, "fast-adaptive-rebatching", total_size, one_shot);
-impl_namespace!(UniformRenaming<TournamentSlot>, "uniform", namespace_size, one_shot);
-impl_namespace!(LinearScanRenaming<TournamentSlot>, "linear-scan", namespace_size, one_shot);
-impl_namespace!(SingleBatchRenaming<TournamentSlot>, "single-batch", namespace_size, one_shot);
-impl_namespace!(DoublingRenaming<TournamentSlot>, "doubling-uniform", namespace_size, one_shot);
+impl_namespace!(Rebatching<TournamentSlot>, "rebatching", namespace_size, release);
+impl_namespace!(AdaptiveRebatching<TournamentSlot>, "adaptive-rebatching", total_size, release);
+impl_namespace!(FastAdaptiveRebatching<TournamentSlot>, "fast-adaptive-rebatching", total_size, release);
+impl_namespace!(UniformRenaming<TournamentSlot>, "uniform", namespace_size, release);
+impl_namespace!(LinearScanRenaming<TournamentSlot>, "linear-scan", namespace_size, release);
+impl_namespace!(SingleBatchRenaming<TournamentSlot>, "single-batch", namespace_size, release);
+impl_namespace!(DoublingRenaming<TournamentSlot>, "doubling-uniform", namespace_size, release);
 
 #[cfg(test)]
 mod tests {

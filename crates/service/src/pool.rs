@@ -16,9 +16,12 @@
 //! * a fixed, power-of-two array of **shards**, each a cache-line-padded
 //!   bank of `AtomicPtr` slots, so different threads' check-ins land on
 //!   different cache lines;
-//! * a **thread-local shard hint** spreads threads across shards and
-//!   sends a thread back to the slot it used last, so the single-thread
-//!   fast path is one `swap` on one warm line;
+//! * a **per-pool, per-thread shard hint** spreads threads across shards
+//!   and sends a thread back to the slot it used last, so the
+//!   single-thread fast path is one `swap` on one warm line. Hints are
+//!   drawn from each pool's own round-robin counter (keyed by a pool
+//!   id in thread-local storage), so a thread's placement in one
+//!   `NameService` never dictates its placement in another;
 //! * **work stealing**: a checkout that finds its home shard empty
 //!   probes the neighboring shards before giving up;
 //! * a **bounded slow path**: only when every slot of every shard is
@@ -30,7 +33,7 @@
 //! no deferred reclamation scheme is needed: whoever swaps a non-null
 //! pointer out of a slot owns it exclusively.
 
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -102,24 +105,19 @@ impl<T> Shard<T> {
     }
 }
 
-/// The thread's home shard index (before masking). Assigned round-robin
-/// on first use so simultaneously active threads start on distinct
-/// shards; stable thereafter so a thread re-checks-out the worker it
-/// just checked in — the warm line, the warm session.
-fn shard_hint() -> usize {
-    static NEXT_HINT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static HINT: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
-    HINT.with(|hint| {
-        let mut v = hint.get();
-        if v == usize::MAX {
-            v = NEXT_HINT.fetch_add(1, Ordering::Relaxed);
-            hint.set(v);
-        }
-        v
-    })
+/// Identity source for [`ShardedPool`]s, so each thread's shard hints
+/// are keyed by pool instance. Monotonic — ids are never reused, so a
+/// dead pool's leftover thread-local entries can never alias a live one.
+fn next_pool_id() -> u64 {
+    static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
+    NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)
 }
+
+/// Per-thread cap on remembered `(pool id, hint)` pairs. A thread that
+/// somehow touches more pools than this just re-draws a hint from the
+/// evicted pool's round-robin counter on its next visit — placement
+/// changes, correctness does not.
+const HINTS_PER_THREAD: usize = 64;
 
 /// A lock-free pool of idle `Box<T>` items, sharded to kill contention
 /// and false sharing on the checkout path.
@@ -137,6 +135,14 @@ pub(crate) struct ShardedPool<T> {
     /// are idle at once — the pool is already warm, so retiring the
     /// surplus is the bounded-memory choice.
     retired: AtomicU64,
+    /// This pool's key into the per-thread hint table.
+    id: u64,
+    /// First-touch round-robin counter for this pool's hints. Scoped
+    /// per pool: a thread's placement here says nothing about its
+    /// placement in any other pool (a process-global counter used to
+    /// make two services collide the same threads onto the same shard
+    /// index systematically).
+    next_hint: AtomicUsize,
 }
 
 // SAFETY: the pool owns heap pointers to `T` and hands each out to at
@@ -155,7 +161,32 @@ impl<T> ShardedPool<T> {
             shards: (0..shards).map(|_| Shard::new()).collect(),
             mask: shards - 1,
             retired: AtomicU64::new(0),
+            id: next_pool_id(),
+            next_hint: AtomicUsize::new(0),
         }
+    }
+
+    /// The calling thread's home shard index in *this* pool (before
+    /// masking). Assigned round-robin per pool on first touch, so
+    /// simultaneously active threads start on distinct shards; stable
+    /// thereafter, so a thread re-checks-out the worker it just checked
+    /// in — the warm line, the warm session.
+    fn shard_hint(&self) -> usize {
+        thread_local! {
+            static HINTS: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+        }
+        HINTS.with(|hints| {
+            let mut hints = hints.borrow_mut();
+            if let Some(&(_, hint)) = hints.iter().find(|&&(id, _)| id == self.id) {
+                return hint;
+            }
+            let hint = self.next_hint.fetch_add(1, Ordering::Relaxed);
+            if hints.len() >= HINTS_PER_THREAD {
+                hints.remove(0); // evict the oldest-assigned entry
+            }
+            hints.push((self.id, hint));
+            hint
+        })
     }
 
     /// The default shard count: the machine's parallelism, rounded up to
@@ -173,7 +204,7 @@ impl<T> ShardedPool<T> {
     /// Takes an idle item, preferring the calling thread's home shard
     /// and stealing from neighbors before reporting the pool empty.
     pub(crate) fn checkout(&self) -> Option<Box<T>> {
-        let home = shard_hint() & self.mask;
+        let home = self.shard_hint() & self.mask;
         for probe in 0..self.shards.len() {
             let shard = &self.shards[(home + probe) & self.mask];
             for slot in &shard.slots {
@@ -197,7 +228,7 @@ impl<T> ShardedPool<T> {
     /// occupied the item is dropped (counted in [`Self::retired`]).
     pub(crate) fn checkin(&self, item: Box<T>) {
         let p = Box::into_raw(item);
-        let home = shard_hint() & self.mask;
+        let home = self.shard_hint() & self.mask;
         for probe in 0..self.shards.len() {
             let shard = &self.shards[(home + probe) & self.mask];
             for slot in &shard.slots {
@@ -215,13 +246,19 @@ impl<T> ShardedPool<T> {
                 }
             }
         }
-        self.retired.fetch_add(1, Ordering::Relaxed);
+        // AcqRel pairs with the Acquire read in `retired`, so the count
+        // is exact after the churning threads are joined (the torture
+        // tests' conservation law counts on it).
+        self.retired.fetch_add(1, Ordering::AcqRel);
         // SAFETY: `p` was produced by `Box::into_raw` above and was never
         // published (every compare_exchange failed).
         drop(unsafe { Box::from_raw(p) });
     }
 
-    /// Idle items currently pooled (advisory under concurrency).
+    /// Idle items currently pooled. A pointer scan with relaxed loads:
+    /// advisory while checkouts are in flight, exact once the pool is
+    /// quiescent (thread join orders the slots' CAS publications before
+    /// the scan).
     pub(crate) fn pooled(&self) -> usize {
         self.shards
             .iter()
@@ -230,9 +267,10 @@ impl<T> ShardedPool<T> {
             .count()
     }
 
-    /// Items dropped on check-in because the pool was full.
+    /// Items dropped on check-in because the pool was full. Acquire, to
+    /// pair with the overflow path's AcqRel increment.
     pub(crate) fn retired(&self) -> u64 {
-        self.retired.load(Ordering::Relaxed)
+        self.retired.load(Ordering::Acquire)
     }
 }
 
@@ -423,6 +461,77 @@ mod tests {
         );
         drop(pool);
         assert_eq!(live.load(Ordering::Relaxed), 0, "pool drop leaked items");
+    }
+
+    #[test]
+    fn shard_hints_are_scoped_per_pool() {
+        let a = ShardedPool::<u32>::new(8);
+        let b = ShardedPool::<u32>::new(8);
+        // Three threads draw their hints from A first (joined in order,
+        // so the assignment is deterministic).
+        std::thread::scope(|scope| {
+            for expected in 0..3 {
+                let a = &a;
+                scope
+                    .spawn(move || assert_eq!(a.shard_hint(), expected))
+                    .join()
+                    .expect("join");
+            }
+            // A later thread whose first touch is B: under the old
+            // process-global counter it would inherit the continuation
+            // (hint 3); per-pool scoping gives it B's own hint 0.
+            let (a, b) = (&a, &b);
+            scope
+                .spawn(move || {
+                    assert_eq!(b.shard_hint(), 0, "B assigns from its own counter");
+                    assert_eq!(a.shard_hint(), 3, "A continues its own round-robin");
+                    // Hints are sticky per (thread, pool).
+                    assert_eq!(b.shard_hint(), 0);
+                    assert_eq!(a.shard_hint(), 3);
+                })
+                .join()
+                .expect("join");
+        });
+    }
+
+    #[test]
+    fn two_pools_distribute_the_same_threads_independently() {
+        // The regression this guards: with one global hint per thread,
+        // the threads that happened to land on even hints in one service
+        // all collided on shard 0 of every other 2-shard service too.
+        // Per-pool assignment hands each pool its own dense 0..n hints
+        // in that pool's first-touch order.
+        let a = ShardedPool::<u32>::new(4);
+        let b = ShardedPool::<u32>::new(4);
+        let hints = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let (a, b, hints) = (&a, &b, &hints);
+                scope
+                    .spawn(move || {
+                        // Half the threads meet A first, half meet B first.
+                        let (ha, hb) = if i % 2 == 0 {
+                            let ha = a.shard_hint();
+                            (ha, b.shard_hint())
+                        } else {
+                            let hb = b.shard_hint();
+                            (a.shard_hint(), hb)
+                        };
+                        hints.lock().expect("hints").push((ha, hb));
+                    })
+                    .join()
+                    .expect("join");
+            }
+        });
+        let hints = hints.into_inner().expect("hints");
+        let mut a_hints: Vec<usize> = hints.iter().map(|&(ha, _)| ha).collect();
+        let mut b_hints: Vec<usize> = hints.iter().map(|&(_, hb)| hb).collect();
+        a_hints.sort_unstable();
+        b_hints.sort_unstable();
+        // Each pool hands out a dense, collision-free 0..4 — maximal
+        // spread over 4 shards in *both* pools simultaneously.
+        assert_eq!(a_hints, vec![0, 1, 2, 3]);
+        assert_eq!(b_hints, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -258,8 +258,9 @@ impl NameService {
     ///
     /// # Errors
     ///
-    /// Returns [`RenamingError::ReleaseUnsupported`] on one-shot
-    /// backends.
+    /// Returns [`RenamingError::ReleaseUnsupported`] if a custom
+    /// backend is one-shot; every built-in backend (atomic and the
+    /// epoch-resettable tournament) accepts the release.
     ///
     /// # Panics
     ///
@@ -293,7 +294,9 @@ impl NameService {
         self.backend.capacity()
     }
 
-    /// Names currently held (advisory under concurrency).
+    /// Names currently held. A relaxed-counter read: intentionally
+    /// approximate while acquires/releases are in flight (it sits on the
+    /// hot path), exact once the service is quiescent.
     pub fn held(&self) -> usize {
         self.backend.held()
     }
@@ -304,7 +307,8 @@ impl NameService {
     }
 
     /// Whether dropping a [`NameGuard`] actually recycles the name on
-    /// this backend.
+    /// this backend. `true` for every backend the builder can produce;
+    /// only a custom one-shot [`ServiceBackend`] reports `false`.
     ///
     /// # Example
     ///
@@ -315,10 +319,11 @@ impl NameService {
     /// let atomic = NameService::builder(Algorithm::Rebatching, 4).build()?;
     /// assert!(atomic.supports_release());
     ///
+    /// // The register tournament recycles too (epoch-stamped reset).
     /// let tournament = NameService::builder(Algorithm::Rebatching, 4)
     ///     .tas_backend(TasBackend::Tournament)
     ///     .build()?;
-    /// assert!(!tournament.supports_release());
+    /// assert!(tournament.supports_release());
     /// # Ok(())
     /// # }
     /// ```
@@ -330,8 +335,15 @@ impl NameService {
     /// number of concurrent acquires; under sustained overflow of a full
     /// sharded pool it can exceed it (surplus idle workers are retired
     /// rather than pooled without bound).
+    ///
+    /// The load is `Acquire`, pairing with the `AcqRel` increment in the
+    /// checkout slow path, so the count is exact once the service is
+    /// quiescent (e.g. after joining all acquiring threads — the
+    /// conservation law `worker_count == pooled_workers +
+    /// retired_workers` the torture tests assert). While acquires are in
+    /// flight it is a snapshot, advisory like every concurrent counter.
     pub fn worker_count(&self) -> usize {
-        self.streams.load(Ordering::Relaxed) as usize
+        self.streams.load(Ordering::Acquire) as usize
     }
 
     /// Workers currently idle in the checkout pool (advisory under
@@ -372,8 +384,10 @@ impl NameService {
         // Bounded slow path: only reached when every shard slot (or the
         // mutex vector) is empty. Stream ids — and with them the RNG
         // seeds — are fixed here, at construction, so pool placement
-        // never changes a worker's coin flips.
-        let stream = self.streams.fetch_add(1, Ordering::Relaxed);
+        // never changes a worker's coin flips. AcqRel pairs with the
+        // Acquire read in `worker_count`, keeping the post-quiescence
+        // conservation law exact.
+        let stream = self.streams.fetch_add(1, Ordering::AcqRel);
         Box::new(Worker {
             session: self.backend.open_session(),
             rng: FastRng::seed_from_u64(self.seed_policy.stream_seed(stream)),
@@ -487,25 +501,23 @@ mod tests {
     }
 
     #[test]
-    fn tournament_backend_acquires_but_does_not_recycle() {
+    fn tournament_backend_recycles_on_guard_drop() {
         let service = NameService::builder(Algorithm::Rebatching, 4)
             .tas_backend(TasBackend::Tournament)
             .build()
             .expect("build");
-        assert!(!service.supports_release());
+        assert!(service.supports_release());
         let guard = service.acquire().expect("name");
-        let value = guard.value();
-        assert!(value < service.namespace_size());
-        assert!(matches!(
-            guard.release(),
-            Err(RenamingError::ReleaseUnsupported { .. })
-        ));
-        // Dropping (above, via release) did not recycle: the slot stays
-        // taken, and further acquires return other names.
-        assert_eq!(service.held(), 1);
-        let next = service.acquire().expect("name");
-        assert_ne!(next.value(), value);
-        let _ = next.into_name(); // leak deliberately; backend is one-shot
+        assert!(guard.value() < service.namespace_size());
+        guard.release().expect("tournament releases via epoch reset");
+        assert_eq!(service.held(), 0);
+        // Churn far beyond the namespace (and beyond any slot's
+        // per-epoch ticket budget): only drop-recycling makes this pass.
+        for _ in 0..60 {
+            let guard = service.acquire().expect("within capacity");
+            std::hint::black_box(guard.value());
+        }
+        assert_eq!(service.held(), 0);
     }
 
     #[test]

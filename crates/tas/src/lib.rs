@@ -111,11 +111,14 @@ pub trait Tas: Send + Sync {
 /// quiescence on the object being reset — in the renaming crates that is
 /// the holder of the corresponding name, and nobody else may reset it.
 ///
-/// Not every [`Tas`] can support this: the register-based tournament in
-/// [`rwtas`] spreads its decision over a tree of two-process objects, and
-/// resetting them while a late loser is still walking the tree could
-/// elect a second winner. Hence reset is a separate capability rather
-/// than part of [`Tas`].
+/// Reset is a separate capability rather than part of [`Tas`] because
+/// not every implementation supports it for free: the register-based
+/// tournament in [`rwtas`] spreads its decision over a tree of
+/// two-process objects and supports reset only through its epoch stamps
+/// (a [`TicketTas`]-wrapped [`rwtas::TournamentTas`] resets in O(1) by
+/// bumping the epoch and reissuing its ticket window — see
+/// [`ResettableIdTas`]); a custom one-shot object may not support it at
+/// all.
 pub trait ResettableTas: Tas {
     /// Resets the object to the unset (not yet won) state.
     ///
@@ -156,6 +159,42 @@ pub trait IdTas: Send + Sync {
 
     /// Reads the current value without modifying it.
     fn is_set(&self) -> bool;
+
+    /// Performs the test-and-set on behalf of `pid` as a contender of
+    /// `epoch`.
+    ///
+    /// Adapters that hand out per-epoch identities ([`TicketTas`]) call
+    /// this so the identity and the epoch it was drawn in travel
+    /// together — re-reading the object's epoch inside the call would
+    /// race with a concurrent reset. One-shot implementations keep the
+    /// default, which lives entirely in epoch 0; [`ResettableIdTas`]
+    /// implementations override it.
+    fn test_and_set_as_in_epoch(&self, pid: usize, epoch: u64) -> TasResult {
+        debug_assert_eq!(epoch, 0, "one-shot IdTas objects live entirely in epoch 0");
+        self.test_and_set_as(pid)
+    }
+}
+
+/// An identity-keyed TAS whose lifetime is divided into reset epochs.
+///
+/// Implemented by [`rwtas::TournamentTas`]: every register in the
+/// tournament tree carries an epoch stamp, so advancing the epoch resets
+/// the whole object in O(1) without touching a node (stale state is
+/// reinterpreted as pristine on the next read). This is the capability
+/// that lets [`TicketTas`] implement [`ResettableTas`] — and with it,
+/// the register substrate back long-lived renaming.
+pub trait ResettableIdTas: IdTas {
+    /// The current epoch (0 for a fresh object).
+    fn epoch(&self) -> u64;
+
+    /// Advances to the next epoch, atomically resetting the object: all
+    /// state written in earlier epochs reads as unset afterwards, and
+    /// contenders still in flight under a dead epoch lose.
+    ///
+    /// The caller must own the current epoch's win (the quiescence rule
+    /// of [`ResettableTas::reset`]); process ids are reusable in the new
+    /// epoch.
+    fn advance_epoch(&self);
 }
 
 impl<T: Tas> IdTas for T {

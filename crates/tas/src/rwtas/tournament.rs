@@ -1,8 +1,8 @@
 //! Tournament-tree test-and-set for `n` processes from register-based
-//! two-process objects.
+//! two-process objects, long-lived via an epoch-stamped O(1) reset.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
 
@@ -21,12 +21,31 @@ use crate::TasResult;
 ///
 /// The id-based leaf assignment is why this type implements [`crate::IdTas`]
 /// rather than [`crate::Tas`]: the caller must present a process id in
-/// `0..capacity`, and at most one thread may use a given id at a time.
+/// `0..capacity`, and at most one thread may use a given id at a time
+/// *within an epoch* (see below).
 ///
 /// Step complexity per call is `Θ(log capacity)` expected register
 /// operations — the multiplicative overhead the paper's §2 remark prices at
 /// `O(log log k)` when the adaptive objects of [6, 22] are used instead of
 /// this static tree (experiment E14 measures our tree's overhead).
+///
+/// # Reset: one epoch bump, no tree rebuild
+///
+/// The tournament is long-lived: [`reset`](Self::reset) advances a single
+/// shared epoch counter — an O(1) operation that performs **zero**
+/// register operations on the `node_count()` two-process nodes. Every
+/// node register is stamped with the epoch it was written in; contenders
+/// of the new epoch read older stamps as pristine state (lazy
+/// invalidation), while stragglers still walking the tree under a dead
+/// epoch observe the bumped counter (or a newer stamp) and concede.
+/// Safety across epochs rests on the reset precondition: **only the
+/// current epoch's winner may reset**, once it is done with the object —
+/// then every path to the root still carries that winner's epoch-stamped
+/// marks, so no dead-epoch straggler can ever claim a second win.
+///
+/// Epochs saturate at `u32::MAX` (after which the object degrades to
+/// one-shot rather than wrapping stamps) — four billion resets per slot
+/// is beyond any realistic workload.
 ///
 /// # Example
 ///
@@ -39,6 +58,10 @@ use crate::TasResult;
 /// let mut rng = StdRng::seed_from_u64(1);
 /// assert!(t.test_and_set_with(3, &mut rng).won());
 /// assert!(t.test_and_set_with(0, &mut rng).lost());
+///
+/// t.reset(); // O(1): bumps the epoch, touches no node
+/// assert!(!t.is_decided());
+/// assert!(t.test_and_set_with(0, &mut rng).won());
 /// ```
 pub struct TournamentTas {
     capacity: usize,
@@ -46,8 +69,13 @@ pub struct TournamentTas {
     /// children `2k` and `2k + 1`. Empty when `capacity == 1`.
     nodes: Vec<TwoProcessTas>,
     leaf_base: usize,
-    /// `capacity == 1` degenerate case: a single-writer decided flag.
-    solo_set: AtomicBool,
+    /// The current epoch; bumped by [`reset`](Self::reset), re-read by
+    /// in-flight contenders to detect resets.
+    epoch: AtomicU64,
+    /// `capacity == 1` degenerate case: `0` = unset, `e + 1` = won in
+    /// epoch `e`. A plain register morally; the monotone CAS only guards
+    /// against dead-epoch stragglers.
+    solo_set: AtomicU64,
 }
 
 impl TournamentTas {
@@ -66,7 +94,8 @@ impl TournamentTas {
             capacity,
             nodes,
             leaf_base: leaves,
-            solo_set: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            solo_set: AtomicU64::new(0),
         }
     }
 
@@ -80,14 +109,64 @@ impl TournamentTas {
         self.nodes.len().saturating_sub(1)
     }
 
-    /// Performs the test-and-set on behalf of `pid`, drawing coins from
-    /// `rng`.
+    /// The current epoch (starts at 0, advanced by [`reset`](Self::reset)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Reopens the tournament for a fresh round of contenders: a single
+    /// epoch bump, O(1) regardless of [`node_count`](Self::node_count).
+    /// Stale node state is invalidated lazily on the next read (see the
+    /// type-level docs); no node register is written.
+    ///
+    /// The caller must be (or act for) the current epoch's winner, and
+    /// must not reuse a process id concurrently within the new epoch —
+    /// the same ownership rule [`crate::ResettableTas::reset`] states for
+    /// anonymous slots.
+    pub fn reset(&self) {
+        // Saturate instead of wrapping the 32-bit stamp space: a slot
+        // that somehow burns 2^32 epochs becomes one-shot, never unsafe.
+        let _ = self.epoch.fetch_update(Ordering::AcqRel, Ordering::Acquire, |e| {
+            (e < u64::from(u32::MAX)).then_some(e + 1)
+        });
+    }
+
+    /// Total register operations performed across all two-process nodes.
+    ///
+    /// O(`node_count`) to read — instrumentation for tests and
+    /// experiments (e.g. proving [`reset`](Self::reset) performs none).
+    pub fn register_ops(&self) -> u64 {
+        self.nodes.iter().map(TwoProcessTas::register_ops).sum()
+    }
+
+    /// Performs the test-and-set on behalf of `pid` as a contender of the
+    /// tournament's current epoch, drawing coins from `rng`.
     ///
     /// # Panics
     ///
     /// Panics if `pid >= self.capacity()`.
     pub fn test_and_set_with<R: Rng + ?Sized>(&self, pid: usize, rng: &mut R) -> TasResult {
         self.test_and_set_counted(pid, rng).0
+    }
+
+    /// Performs the test-and-set on behalf of `pid` as a contender of
+    /// `epoch`. A call whose epoch is already (or becomes) stale loses.
+    ///
+    /// This is the entry point for adapters that couple the epoch to
+    /// another per-epoch resource ([`crate::TicketTas`] couples it to the
+    /// ticket window, so a ticket and the epoch it was drawn in travel
+    /// together).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= self.capacity()`.
+    pub fn test_and_set_in_epoch<R: Rng + ?Sized>(
+        &self,
+        pid: usize,
+        epoch: u64,
+        rng: &mut R,
+    ) -> TasResult {
+        self.test_and_set_counted_in_epoch(pid, epoch, rng).0
     }
 
     /// Like [`Self::test_and_set_with`] but also reports how many register
@@ -97,16 +176,33 @@ impl TournamentTas {
         pid: usize,
         rng: &mut R,
     ) -> (TasResult, u64) {
+        let epoch = self.epoch();
+        self.test_and_set_counted_in_epoch(pid, epoch, rng)
+    }
+
+    /// Like [`Self::test_and_set_in_epoch`] but also reports how many
+    /// register operations the call performed.
+    pub fn test_and_set_counted_in_epoch<R: Rng + ?Sized>(
+        &self,
+        pid: usize,
+        epoch: u64,
+        rng: &mut R,
+    ) -> (TasResult, u64) {
         assert!(
             pid < self.capacity,
             "pid {pid} out of range 0..{}",
             self.capacity
         );
         if self.capacity == 1 {
-            // Single possible contender: first call wins. A plain register
-            // suffices because only pid 0 may call.
-            let won = !self.solo_set.load(Ordering::Acquire);
-            self.solo_set.store(true, Ordering::Release);
+            // Single possible contender per epoch: first call wins. A
+            // plain register suffices within an epoch (only pid 0 may
+            // call); the monotone CAS fences off dead-epoch stragglers.
+            let cur = self.solo_set.load(Ordering::Acquire);
+            let won = cur < epoch + 1
+                && self
+                    .solo_set
+                    .compare_exchange(cur, epoch + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
             return (TasResult::from_won(won), 2);
         }
 
@@ -119,7 +215,8 @@ impl TournamentTas {
             } else {
                 Side::Right
             };
-            let (result, node_ops) = self.nodes[parent].test_and_set_counted(side, rng);
+            let (result, node_ops) =
+                self.nodes[parent].test_and_set_counted_in_epoch(side, epoch, &self.epoch, rng);
             ops += node_ops;
             if result.lost() {
                 return (TasResult::Lost, ops);
@@ -129,13 +226,15 @@ impl TournamentTas {
         (TasResult::Won, ops)
     }
 
-    /// Advisory: `true` once the overall winner has been decided at the
-    /// root. May lag behind an in-flight winning call.
+    /// Advisory: `true` once the current epoch's winner has been decided
+    /// at the root. May lag behind an in-flight winning call; resets to
+    /// `false` after [`reset`](Self::reset).
     pub fn is_decided(&self) -> bool {
+        let epoch = self.epoch();
         if self.capacity == 1 {
-            self.solo_set.load(Ordering::Acquire)
+            self.solo_set.load(Ordering::Acquire) == epoch + 1
         } else {
-            self.nodes[1].is_decided()
+            self.nodes[1].is_decided_in_epoch(epoch)
         }
     }
 }
@@ -146,8 +245,23 @@ impl crate::IdTas for TournamentTas {
         self.test_and_set_with(pid, &mut rng)
     }
 
+    fn test_and_set_as_in_epoch(&self, pid: usize, epoch: u64) -> TasResult {
+        let mut rng = rand::thread_rng();
+        self.test_and_set_in_epoch(pid, epoch, &mut rng)
+    }
+
     fn is_set(&self) -> bool {
         self.is_decided()
+    }
+}
+
+impl crate::ResettableIdTas for TournamentTas {
+    fn epoch(&self) -> u64 {
+        TournamentTas::epoch(self)
+    }
+
+    fn advance_epoch(&self) {
+        self.reset();
     }
 }
 
@@ -156,6 +270,7 @@ impl fmt::Debug for TournamentTas {
         f.debug_struct("TournamentTas")
             .field("capacity", &self.capacity)
             .field("nodes", &self.node_count())
+            .field("epoch", &self.epoch())
             .field("decided", &self.is_decided())
             .finish()
     }
@@ -192,6 +307,17 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_resets_too() {
+        let t = TournamentTas::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(t.test_and_set_with(0, &mut rng).won());
+        t.reset();
+        assert!(!t.is_decided());
+        assert!(t.test_and_set_with(0, &mut rng).won());
+        assert!(t.test_and_set_with(0, &mut rng).lost());
+    }
+
+    #[test]
     fn sequential_callers_single_winner() {
         for cap in [2, 3, 4, 5, 8, 13, 16] {
             let t = TournamentTas::new(cap);
@@ -223,6 +349,53 @@ mod tests {
     }
 
     #[test]
+    fn reset_is_one_epoch_bump_with_no_node_traffic() {
+        let t = TournamentTas::new(16);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(t.test_and_set_with(3, &mut rng).won());
+        let ops_before = t.register_ops();
+        let epoch_before = t.epoch();
+        t.reset();
+        assert_eq!(
+            t.register_ops(),
+            ops_before,
+            "reset must not perform register operations on any node"
+        );
+        assert_eq!(t.epoch(), epoch_before + 1);
+        assert!(!t.is_decided(), "epoch bump reopens the tournament");
+    }
+
+    #[test]
+    fn every_epoch_elects_exactly_one_sequential_winner() {
+        let cap = 8;
+        let t = TournamentTas::new(cap);
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..20 {
+            let wins = (0..cap)
+                .filter(|&pid| t.test_and_set_with(pid, &mut rng).won())
+                .count();
+            assert_eq!(wins, 1, "round {round}");
+            t.reset();
+        }
+    }
+
+    #[test]
+    fn stale_epoch_callers_lose_after_reset() {
+        let t = TournamentTas::new(8);
+        let mut rng = StdRng::seed_from_u64(8);
+        let old_epoch = t.epoch();
+        assert!(t.test_and_set_in_epoch(2, old_epoch, &mut rng).won());
+        t.reset();
+        // The new epoch's race is open...
+        assert!(t.test_and_set_with(5, &mut rng).won());
+        // ...but a straggler still carrying the dead epoch must lose,
+        // even on a leaf path the old winner never touched.
+        for pid in [0, 3, 7] {
+            assert!(t.test_and_set_in_epoch(pid, old_epoch, &mut rng).lost());
+        }
+    }
+
+    #[test]
     fn concurrent_contenders_exactly_one_winner() {
         for trial in 0..20 {
             let cap = 8;
@@ -242,6 +415,34 @@ mod tests {
                 .filter(|won| *won)
                 .count();
             assert_eq!(wins, 1, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn concurrent_churn_across_epochs_has_one_winner_per_epoch() {
+        // Every round: all pids race, exactly one wins, the winner's
+        // epoch is then reset. Losers of earlier epochs may still be
+        // finishing while the next epoch races — the stamps must keep
+        // every epoch's winner unique.
+        let cap = 4;
+        let t = Arc::new(TournamentTas::new(cap));
+        for round in 0..30u64 {
+            let handles: Vec<_> = (0..cap)
+                .map(|pid| {
+                    let t = Arc::clone(&t);
+                    std::thread::spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(round * 64 + pid as u64);
+                        t.test_and_set_with(pid, &mut rng).won()
+                    })
+                })
+                .collect();
+            let wins = handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .filter(|w| *w)
+                .count();
+            assert_eq!(wins, 1, "round {round}");
+            t.reset();
         }
     }
 }

@@ -1,6 +1,7 @@
-//! Two-process randomized test-and-set from single-writer registers.
+//! Two-process randomized test-and-set from single-writer registers,
+//! with epoch-stamped state for in-place, O(1) reset.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
 
@@ -35,21 +36,63 @@ impl Side {
     }
 }
 
-// Per-side state register encoding. Each register is single-writer:
-// only the owning side stores to it; the opponent only loads.
-const STATE_NONE: usize = 0; // entered the door, race state not yet published
-const STATE_WON_FAST: usize = 1; // won via the empty-door fast path
-const STATE_WON_SLOW: usize = 2; // won the round race (opponent quit)
-const STATE_QUIT: usize = 3; // lost: observed the opponent ahead
-const STATE_RACING_BASE: usize = 4; // STATE_RACING_BASE + r  <=>  racing at round r
+// Per-side state register encoding (the *value* half of a stamped
+// register). Each register is single-writer within an epoch: only the
+// owning side stores to it; the opponent only loads. Across epochs the
+// same register may be rewritten by the side's new owner — the stamp
+// arbitrates (see `stamped_store`).
+const STATE_NONE: u64 = 0; // entered the door, race state not yet published
+const STATE_WON_FAST: u64 = 1; // won via the empty-door fast path
+const STATE_WON_SLOW: u64 = 2; // won the round race (opponent quit)
+const STATE_QUIT: u64 = 3; // lost: observed the opponent ahead
+const STATE_RACING_BASE: u64 = 4; // STATE_RACING_BASE + r  <=>  racing at round r
+
+const DOOR_UP: u64 = 1;
+
+/// Bit position of the epoch stamp inside a packed register. The low
+/// half holds the protocol value, the high half the epoch the value was
+/// written in; `u32::MAX` epochs bound the slot's reset count (the
+/// tournament saturates there rather than wrapping).
+const STAMP_SHIFT: u32 = 32;
+const VALUE_MASK: u64 = (1 << STAMP_SHIFT) - 1;
 
 #[inline]
-fn racing(round: usize) -> usize {
+fn racing(round: u64) -> u64 {
     STATE_RACING_BASE + round
 }
 
-/// A randomized one-shot test-and-set object for **two** processes built
-/// from single-writer read/write registers.
+#[inline]
+fn pack(epoch: u64, value: u64) -> u64 {
+    (epoch << STAMP_SHIFT) | (value & VALUE_MASK)
+}
+
+/// What a stamped-register read tells an epoch-`e` contender.
+enum Reg {
+    /// The register was written in a later epoch: the reader's epoch is
+    /// over (the object was reset since the reader entered).
+    Stale,
+    /// The register's value as of the reader's epoch. Writes from
+    /// *earlier* epochs read as the reset default (`0`: door down /
+    /// `STATE_NONE`) — this lazy reinterpretation is what makes reset an
+    /// O(1) epoch bump instead of an O(nodes) rewrite.
+    Val(u64),
+}
+
+#[inline]
+fn decode(raw: u64, epoch: u64) -> Reg {
+    let stamp = raw >> STAMP_SHIFT;
+    if stamp > epoch {
+        Reg::Stale
+    } else if stamp < epoch {
+        Reg::Val(0)
+    } else {
+        Reg::Val(raw & VALUE_MASK)
+    }
+}
+
+/// A randomized test-and-set object for **two** processes built from
+/// single-writer read/write registers, resettable in place via epoch
+/// stamps.
 ///
 /// The protocol is a doorway followed by a round race (in the spirit of
 /// Tromp–Vitányi leader election):
@@ -67,7 +110,29 @@ fn racing(round: usize) -> usize {
 ///    * opponent *behind* — wait; the opponent must observe us ahead and
 ///      quit.
 ///
-/// # Safety argument (at most one winner, in every execution)
+/// # Epochs (long-lived use)
+///
+/// Every register carries an epoch stamp in its high bits. A contender
+/// of epoch `e` reads stamps `< e` as the pristine default (the lazy
+/// reset), stamps `== e` as live protocol state, and stamps `> e` as
+/// proof that its own epoch ended mid-call — it then *concedes*
+/// (best-effort publishes `Quit` for any same-epoch peer and loses,
+/// which is always sound for a TAS contender). Writes go through a
+/// monotone-stamp compare-exchange, so a stale straggler can never
+/// clobber a newer epoch's state. The owning
+/// [`TournamentTas`](crate::rwtas::TournamentTas) bumps one shared epoch
+/// counter to reset the whole tree at once; contenders re-check that
+/// counter in their wait loops so a reset cannot strand a stale caller
+/// spinning on a peer that already conceded.
+///
+/// The stamp CAS and the reset-counter probe are bookkeeping of the
+/// long-lived extension, not protocol steps: [`register_ops`] counts one
+/// operation per logical load/store, keeping experiment E14 comparable
+/// to the paper's one-shot register model.
+///
+/// [`register_ops`]: Self::register_ops
+///
+/// # Safety argument (at most one winner per epoch, in every execution)
 ///
 /// * Two fast-path wins are impossible: if both read the other's door as
 ///   down, each read preceded the other's door write, which precedes that
@@ -78,6 +143,9 @@ fn racing(round: usize) -> usize {
 ///   subsequently observe `L` ahead. Hence at most one `Quit`, and a win is
 ///   only claimed after observing `Quit` (or `WonFast`/`WonSlow`,
 ///   published strictly after the opponent's decision).
+/// * Across epochs: stale contenders only ever concede when they meet
+///   newer-stamped state, and their own writes cannot survive into the
+///   new epoch (monotone stamps), so each epoch's race is independent.
 ///
 /// # Termination
 ///
@@ -86,7 +154,7 @@ fn racing(round: usize) -> usize {
 /// If the opponent crashes mid-race the survivor may spin — the
 /// leader-election caveat described at the [module level](crate::rwtas).
 ///
-/// Calls are idempotent per side: calling `test_and_set_on` again after a
+/// Calls are idempotent per side within an epoch: calling again after a
 /// decision returns the same result without re-racing.
 ///
 /// # Example
@@ -103,13 +171,13 @@ fn racing(round: usize) -> usize {
 /// ```
 #[derive(Debug, Default)]
 pub struct TwoProcessTas {
-    door: [AtomicBool; 2],
-    state: [AtomicUsize; 2],
+    door: [AtomicU64; 2],
+    state: [AtomicU64; 2],
     register_ops: AtomicU64,
 }
 
 impl TwoProcessTas {
-    /// Creates a fresh, undecided object.
+    /// Creates a fresh, undecided object (epoch 0).
     pub fn new() -> Self {
         Self::default()
     }
@@ -117,91 +185,174 @@ impl TwoProcessTas {
     /// Total register operations (loads + stores) performed on this object.
     ///
     /// Used by experiment E14 to compare the register substrate against
-    /// hardware TAS. The counter itself uses an atomic add, which is
+    /// hardware TAS, and by the service experiment to prove resets touch
+    /// no node. The counter itself uses an atomic add, which is
     /// instrumentation, not part of the protocol.
     pub fn register_ops(&self) -> u64 {
         self.register_ops.load(Ordering::Relaxed)
     }
 
-    #[inline]
-    fn load_state(&self, side: Side) -> usize {
-        self.register_ops.fetch_add(1, Ordering::Relaxed);
-        self.state[side.index()].load(Ordering::Acquire)
+    /// Publishes `value` stamped with `epoch` unless the register already
+    /// carries a newer stamp (then the writer's epoch is over: `false`).
+    /// The monotone-stamp CAS is what keeps stale stragglers from
+    /// clobbering a later epoch's single-writer register.
+    fn stamped_store(cell: &AtomicU64, epoch: u64, value: u64) -> bool {
+        let new = pack(epoch, value);
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            if (cur >> STAMP_SHIFT) > epoch {
+                return false;
+            }
+            match cell.compare_exchange_weak(cur, new, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     #[inline]
-    fn store_state(&self, side: Side, value: usize) {
+    fn load_state(&self, side: Side, epoch: u64) -> Reg {
         self.register_ops.fetch_add(1, Ordering::Relaxed);
-        self.state[side.index()].store(value, Ordering::Release);
+        decode(self.state[side.index()].load(Ordering::Acquire), epoch)
     }
 
     #[inline]
-    fn load_door(&self, side: Side) -> bool {
+    fn store_state(&self, side: Side, epoch: u64, value: u64) -> bool {
         self.register_ops.fetch_add(1, Ordering::Relaxed);
-        self.door[side.index()].load(Ordering::Acquire)
+        Self::stamped_store(&self.state[side.index()], epoch, value)
     }
 
     #[inline]
-    fn store_door(&self, side: Side) {
+    fn load_door(&self, side: Side, epoch: u64) -> Reg {
         self.register_ops.fetch_add(1, Ordering::Relaxed);
-        self.door[side.index()].store(true, Ordering::Release);
+        decode(self.door[side.index()].load(Ordering::Acquire), epoch)
     }
 
-    /// Runs the protocol for `side`, drawing coins from `rng`.
+    #[inline]
+    fn store_door(&self, side: Side, epoch: u64) -> bool {
+        self.register_ops.fetch_add(1, Ordering::Relaxed);
+        Self::stamped_store(&self.door[side.index()], epoch, DOOR_UP)
+    }
+
+    /// Abandons a call whose epoch turned stale: best-effort publishes
+    /// `Quit` (so a same-epoch peer still racing us can win and move on)
+    /// and loses. Losing is always sound for a TAS contender, and a
+    /// contender of a dead epoch in particular can never be owed the win.
+    fn concede(&self, side: Side, epoch: u64) -> TasResult {
+        let _ = self.store_state(side, epoch, STATE_QUIT);
+        TasResult::Lost
+    }
+
+    /// Runs the protocol for `side` in the one-shot configuration
+    /// (epoch 0, never reset), drawing coins from `rng`.
     ///
     /// See the type-level documentation for guarantees.
     pub fn test_and_set_on<R: Rng + ?Sized>(&self, side: Side, rng: &mut R) -> TasResult {
-        // Idempotent re-entry: if this side already decided, repeat it.
-        match self.state[side.index()].load(Ordering::Acquire) {
-            STATE_WON_FAST | STATE_WON_SLOW => return TasResult::Won,
-            STATE_QUIT => return TasResult::Lost,
-            _ => {}
+        // A pinned, never-advancing epoch cell: standalone objects are
+        // exactly the paper's one-shot register TAS.
+        let epoch = AtomicU64::new(0);
+        self.test_and_set_in_epoch(side, 0, &epoch, rng)
+    }
+
+    /// Runs the protocol for `side` as a contender of `epoch`.
+    ///
+    /// `reset_epoch` is the shared counter the owning object bumps to
+    /// reset; the call re-checks it while waiting and concedes once it
+    /// moves past `epoch`. Callers must pass the epoch they read from
+    /// that counter when they entered (the tournament reads it once per
+    /// tree walk).
+    pub fn test_and_set_in_epoch<R: Rng + ?Sized>(
+        &self,
+        side: Side,
+        epoch: u64,
+        reset_epoch: &AtomicU64,
+        rng: &mut R,
+    ) -> TasResult {
+        // Idempotent re-entry within the epoch (an uncounted peek: no
+        // protocol step has happened yet).
+        match decode(self.state[side.index()].load(Ordering::Acquire), epoch) {
+            Reg::Stale => return TasResult::Lost,
+            Reg::Val(STATE_WON_FAST | STATE_WON_SLOW) => return TasResult::Won,
+            Reg::Val(STATE_QUIT) => return TasResult::Lost,
+            Reg::Val(_) => {}
         }
 
         let me = side;
         let peer = side.other();
 
         // Doorway.
-        self.store_door(me);
-        if !self.load_door(peer) {
-            self.store_state(me, STATE_WON_FAST);
-            return TasResult::Won;
+        if !self.store_door(me, epoch) {
+            return self.concede(me, epoch);
+        }
+        match self.load_door(peer, epoch) {
+            Reg::Stale => return self.concede(me, epoch),
+            Reg::Val(0) => {
+                return if self.store_state(me, epoch, STATE_WON_FAST) {
+                    TasResult::Won
+                } else {
+                    self.concede(me, epoch)
+                };
+            }
+            Reg::Val(_) => {}
         }
 
         // Round race.
-        let mut my_round = 0usize;
-        self.store_state(me, racing(my_round));
+        let mut my_round = 0u64;
+        if !self.store_state(me, epoch, racing(my_round)) {
+            return self.concede(me, epoch);
+        }
         let mut spins = 0u32;
         loop {
-            match self.load_state(peer) {
-                STATE_WON_FAST | STATE_WON_SLOW => {
-                    self.store_state(me, STATE_QUIT);
-                    return TasResult::Lost;
-                }
-                STATE_QUIT => {
-                    self.store_state(me, STATE_WON_SLOW);
-                    return TasResult::Won;
-                }
-                STATE_NONE => {
-                    // Peer passed the doorway but has not published its race
-                    // state yet; it will, unless it crashed.
-                    Self::pause(&mut spins);
-                }
-                peer_state => {
-                    let peer_round = peer_state - STATE_RACING_BASE;
-                    if peer_round > my_round {
-                        self.store_state(me, STATE_QUIT);
+            // A bumped counter means the object was reset mid-call: this
+            // contender belongs to a dead epoch. Conceding here (rather
+            // than only on a stale stamp) keeps stale contenders from
+            // spinning on a peer that already conceded and will never
+            // publish again. Reset detection, not a protocol register op.
+            if reset_epoch.load(Ordering::Acquire) != epoch {
+                return self.concede(me, epoch);
+            }
+            match self.load_state(peer, epoch) {
+                Reg::Stale => return self.concede(me, epoch),
+                Reg::Val(peer_state) => match peer_state {
+                    STATE_WON_FAST | STATE_WON_SLOW => {
+                        let _ = self.store_state(me, epoch, STATE_QUIT);
                         return TasResult::Lost;
-                    } else if peer_round == my_round {
-                        if rng.gen::<bool>() {
-                            my_round += 1;
-                            self.store_state(me, racing(my_round));
-                        }
-                    } else {
-                        // Peer is behind; it must observe us and quit.
+                    }
+                    STATE_QUIT => {
+                        return if self.store_state(me, epoch, STATE_WON_SLOW) {
+                            TasResult::Won
+                        } else {
+                            self.concede(me, epoch)
+                        };
+                    }
+                    STATE_NONE => {
+                        // Peer passed the doorway but has not published its
+                        // race state yet; it will, unless it crashed.
                         Self::pause(&mut spins);
                     }
-                }
+                    racing_state => {
+                        let peer_round = racing_state - STATE_RACING_BASE;
+                        match peer_round.cmp(&my_round) {
+                            std::cmp::Ordering::Greater => {
+                                let _ = self.store_state(me, epoch, STATE_QUIT);
+                                return TasResult::Lost;
+                            }
+                            std::cmp::Ordering::Equal => {
+                                if rng.gen::<bool>() {
+                                    my_round += 1;
+                                    if !self.store_state(me, epoch, racing(my_round)) {
+                                        return self.concede(me, epoch);
+                                    }
+                                }
+                            }
+                            std::cmp::Ordering::Less => {
+                                // Peer is behind; it must observe us ahead
+                                // and quit.
+                                Self::pause(&mut spins);
+                            }
+                        }
+                    }
+                },
             }
         }
     }
@@ -218,20 +369,46 @@ impl TwoProcessTas {
         (result, self.register_ops().saturating_sub(before))
     }
 
-    /// Returns the winning side once the object is decided.
-    pub fn winner(&self) -> Option<Side> {
+    /// Like [`Self::test_and_set_in_epoch`] but also reports the number
+    /// of register operations this call performed.
+    pub fn test_and_set_counted_in_epoch<R: Rng + ?Sized>(
+        &self,
+        side: Side,
+        epoch: u64,
+        reset_epoch: &AtomicU64,
+        rng: &mut R,
+    ) -> (TasResult, u64) {
+        let before = self.register_ops();
+        let result = self.test_and_set_in_epoch(side, epoch, reset_epoch, rng);
+        (result, self.register_ops().saturating_sub(before))
+    }
+
+    /// Returns the winning side of `epoch` once that epoch is decided.
+    pub fn winner_in_epoch(&self, epoch: u64) -> Option<Side> {
         for side in [Side::Left, Side::Right] {
-            match self.state[side.index()].load(Ordering::Acquire) {
-                STATE_WON_FAST | STATE_WON_SLOW => return Some(side),
-                _ => {}
+            if let Reg::Val(STATE_WON_FAST | STATE_WON_SLOW) =
+                decode(self.state[side.index()].load(Ordering::Acquire), epoch)
+            {
+                return Some(side);
             }
         }
         None
     }
 
-    /// Advisory: `true` once a winner has been published.
+    /// Returns the winning side once the object is decided (one-shot
+    /// configuration: epoch 0).
+    pub fn winner(&self) -> Option<Side> {
+        self.winner_in_epoch(0)
+    }
+
+    /// Advisory: `true` once a winner has been published in `epoch`.
+    pub fn is_decided_in_epoch(&self, epoch: u64) -> bool {
+        self.winner_in_epoch(epoch).is_some()
+    }
+
+    /// Advisory: `true` once a winner has been published (epoch 0).
     pub fn is_decided(&self) -> bool {
-        self.winner().is_some()
+        self.is_decided_in_epoch(0)
     }
 
     #[inline]
@@ -298,6 +475,50 @@ mod tests {
     }
 
     #[test]
+    fn epoch_bump_reopens_the_object() {
+        let epoch = AtomicU64::new(0);
+        let t = TwoProcessTas::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(t.test_and_set_in_epoch(Side::Left, 0, &epoch, &mut rng).won());
+        assert!(t.test_and_set_in_epoch(Side::Right, 0, &epoch, &mut rng).lost());
+        // Reset = bump the shared counter; no register of `t` is touched.
+        let ops_before = t.register_ops();
+        epoch.store(1, Ordering::Release);
+        assert_eq!(t.register_ops(), ops_before);
+        // Epoch 1 races from a pristine state: the old decision reads as
+        // default, and the other side can now win.
+        assert!(!t.is_decided_in_epoch(1));
+        assert!(t.test_and_set_in_epoch(Side::Right, 1, &epoch, &mut rng).won());
+        assert_eq!(t.winner_in_epoch(1), Some(Side::Right));
+        // Epoch 0 still remembers its own winner.
+        assert_eq!(t.winner_in_epoch(0), Some(Side::Left));
+    }
+
+    #[test]
+    fn stale_epoch_caller_loses() {
+        let epoch = AtomicU64::new(0);
+        let t = TwoProcessTas::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(t.test_and_set_in_epoch(Side::Left, 0, &epoch, &mut rng).won());
+        epoch.store(1, Ordering::Release);
+        assert!(t.test_and_set_in_epoch(Side::Left, 1, &epoch, &mut rng).won());
+        // A straggler still carrying epoch 0 observes epoch-1 stamps and
+        // must concede — it can never elect a second winner.
+        assert!(t.test_and_set_in_epoch(Side::Right, 0, &epoch, &mut rng).lost());
+    }
+
+    #[test]
+    fn stale_write_cannot_clobber_newer_epoch() {
+        let cell = AtomicU64::new(pack(5, STATE_WON_FAST));
+        // An epoch-3 straggler's store must bounce off the epoch-5 value.
+        assert!(!TwoProcessTas::stamped_store(&cell, 3, STATE_QUIT));
+        assert_eq!(cell.load(Ordering::Relaxed), pack(5, STATE_WON_FAST));
+        // A newer epoch may overwrite an older one.
+        assert!(TwoProcessTas::stamped_store(&cell, 6, DOOR_UP));
+        assert_eq!(cell.load(Ordering::Relaxed), pack(6, DOOR_UP));
+    }
+
+    #[test]
     fn concurrent_race_has_exactly_one_winner() {
         for seed in 0..200 {
             let t = Arc::new(TwoProcessTas::new());
@@ -318,6 +539,35 @@ mod tests {
                 .filter(|won| *won)
                 .count();
             assert_eq!(wins, 1, "seed {seed}: expected exactly one winner");
+        }
+    }
+
+    #[test]
+    fn concurrent_epoch_races_stay_safe_across_resets() {
+        // Round-trip winner/loser pairs across many epochs on one object,
+        // with the loser of each epoch deliberately left mid-protocol
+        // sometimes (it finishes late, as a stale straggler).
+        let epoch = Arc::new(AtomicU64::new(0));
+        let t = Arc::new(TwoProcessTas::new());
+        for e in 0..50u64 {
+            let handles: Vec<_> = [Side::Left, Side::Right]
+                .into_iter()
+                .enumerate()
+                .map(|(k, side)| {
+                    let (t, epoch) = (Arc::clone(&t), Arc::clone(&epoch));
+                    std::thread::spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(e * 31 + k as u64);
+                        t.test_and_set_in_epoch(side, e, &epoch, &mut rng).won()
+                    })
+                })
+                .collect();
+            let wins = handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .filter(|w| *w)
+                .count();
+            assert_eq!(wins, 1, "epoch {e}: expected exactly one winner");
+            epoch.store(e + 1, Ordering::Release);
         }
     }
 }

@@ -1,8 +1,18 @@
 //! Adapter from caller-identified TAS objects to anonymous ones.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::{IdTas, Tas, TasResult};
+use crate::{IdTas, ResettableIdTas, ResettableTas, Tas, TasResult};
+
+/// Bit position of the epoch half of the packed grant counter; the low
+/// half is the next ticket within that epoch.
+const EPOCH_SHIFT: u32 = 32;
+const TICKET_MASK: u64 = (1 << EPOCH_SHIFT) - 1;
+
+/// Once the ticket half has overshot capacity by this much, losing calls
+/// CAS the counter back down so a pathological loss storm can never
+/// carry into the epoch bits.
+const TICKET_CLAMP_SLACK: u64 = 1 << 20;
 
 /// Adapts an [`IdTas`] (which needs caller identities, like the
 /// register-based [`crate::rwtas::TournamentTas`]) into an anonymous
@@ -19,24 +29,44 @@ use crate::{IdTas, Tas, TasResult};
 /// most once per identity); the counter is an artifact of exposing the
 /// object through an anonymous interface.
 ///
-/// Calls beyond the wrapped object's capacity lose without racing — by
-/// then the object is guaranteed decided, so this preserves TAS semantics.
+/// # Tickets are an epoch-scoped resource
+///
+/// Each ticket is drawn together with the epoch it belongs to, from one
+/// packed counter — a single fetch-and-add couples the two, so a ticket
+/// can never be used under a different epoch than it was issued in.
+/// Calls beyond the wrapped object's capacity **within one epoch** lose
+/// without racing — by then the object is guaranteed decided, so this
+/// preserves TAS semantics. When the wrapped object is resettable
+/// ([`ResettableIdTas`]), [`ResettableTas::reset`] advances its epoch
+/// and reopens a full ticket window: under long-lived churn the pid
+/// space is replenished on every release instead of draining away (the
+/// exhaustion bound applies per epoch, not per object lifetime). If an
+/// epoch's tickets do drain before its winner releases, later calls keep
+/// losing cleanly and the renaming layer surfaces
+/// `NamespaceExhausted` — never a panic, never a wrapped pid.
 ///
 /// # Example
 ///
 /// ```
 /// use renaming_tas::rwtas::TournamentTas;
-/// use renaming_tas::{Tas, TicketTas};
+/// use renaming_tas::{ResettableTas, Tas, TicketTas};
 ///
 /// let t = TicketTas::new(TournamentTas::new(4));
 /// assert!(t.test_and_set().won());
 /// assert!(t.test_and_set().lost());
+///
+/// t.reset(); // epoch bump + fresh ticket window
+/// assert!(!t.is_set());
+/// assert!(t.test_and_set().won());
 /// ```
 #[derive(Debug)]
 pub struct TicketTas<T> {
     inner: T,
     capacity: usize,
-    next_ticket: AtomicUsize,
+    /// Packed `(epoch << 32) | next_ticket`. One fetch-and-add draws a
+    /// ticket *and* observes the epoch it belongs to; `reset` rewrites
+    /// the word to `(new_epoch << 32) | 0`, reopening the window.
+    grants: AtomicU64,
 }
 
 impl TicketTas<crate::rwtas::TournamentTas> {
@@ -53,13 +83,20 @@ impl<T: IdTas> TicketTas<T> {
         Self {
             inner,
             capacity,
-            next_ticket: AtomicUsize::new(0),
+            grants: AtomicU64::new(0),
         }
     }
 
-    /// Tickets handed out so far.
+    /// Tickets handed out so far in the current epoch.
     pub fn tickets_issued(&self) -> usize {
-        self.next_ticket.load(Ordering::Relaxed).min(self.capacity)
+        let tickets = (self.grants.load(Ordering::Relaxed) & TICKET_MASK) as usize;
+        tickets.min(self.capacity)
+    }
+
+    /// The epoch the next ticket will be drawn in (0 until the first
+    /// [`ResettableTas::reset`]).
+    pub fn ticket_epoch(&self) -> u64 {
+        self.grants.load(Ordering::Relaxed) >> EPOCH_SHIFT
     }
 
     /// Borrows the wrapped object.
@@ -70,18 +107,56 @@ impl<T: IdTas> TicketTas<T> {
 
 impl<T: IdTas> Tas for TicketTas<T> {
     fn test_and_set(&self) -> TasResult {
-        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-        if ticket >= self.capacity {
-            // The object saw `capacity` contenders already; it is decided
-            // (or will be, by contenders that entered before us), and we
-            // were not the first — losing is sound.
+        let grant = self.grants.fetch_add(1, Ordering::AcqRel);
+        let epoch = grant >> EPOCH_SHIFT;
+        let ticket = grant & TICKET_MASK;
+        if ticket >= self.capacity as u64 {
+            // The object saw `capacity` contenders this epoch already; it
+            // is decided (or will be, by contenders that entered before
+            // us), and we were not the first — losing is sound.
+            if ticket >= self.capacity as u64 + TICKET_CLAMP_SLACK {
+                // Safety valve: stop a loss storm from ever carrying the
+                // ticket half into the epoch bits. Failure is fine — some
+                // other loser (or a reset) moved the counter.
+                let _ = self.grants.compare_exchange(
+                    grant + 1,
+                    (epoch << EPOCH_SHIFT) | self.capacity as u64,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
             return TasResult::Lost;
         }
-        self.inner.test_and_set_as(ticket)
+        self.inner.test_and_set_as_in_epoch(ticket as usize, epoch)
     }
 
     fn is_set(&self) -> bool {
         self.inner.is_set()
+    }
+}
+
+impl<T: ResettableIdTas> ResettableTas for TicketTas<T> {
+    /// Reopens the slot: advances the wrapped object's epoch (O(1); see
+    /// [`ResettableIdTas::advance_epoch`]) and reissues the ticket
+    /// window for the new epoch.
+    ///
+    /// Order matters: the epoch bump comes first, so a concurrent caller
+    /// can only ever draw (old epoch, old ticket) — a cleanly losing
+    /// stale contender — or (new epoch, fresh ticket), never a fresh
+    /// ticket under the dead epoch. Resets themselves are serialized by
+    /// the [`ResettableTas::reset`] ownership rule (only the slot's
+    /// current winner releases it).
+    ///
+    /// If the epoch cannot advance (the wrapped object saturated its
+    /// stamp space), the ticket window stays closed too: the slot
+    /// degrades to one-shot, it never reissues wins for a live epoch.
+    fn reset(&self) {
+        let before = self.inner.epoch();
+        self.inner.advance_epoch();
+        let after = self.inner.epoch();
+        if after != before {
+            self.grants.store(after << EPOCH_SHIFT, Ordering::Release);
+        }
     }
 }
 
@@ -112,6 +187,53 @@ mod tests {
     }
 
     #[test]
+    fn reset_reissues_tickets_and_reopens_the_slot() {
+        let t = TicketTas::new(TournamentTas::new(2));
+        assert!(t.test_and_set().won());
+        // Burn the whole epoch-0 ticket window and then some — the
+        // pre-reset regression: these pids are gone for good.
+        for _ in 0..5 {
+            assert!(t.test_and_set().lost());
+        }
+        ResettableTas::reset(&t);
+        assert!(!Tas::is_set(&t), "reset reopens the slot");
+        assert_eq!(t.tickets_issued(), 0, "ticket window reissued");
+        assert_eq!(t.ticket_epoch(), 1);
+        assert!(
+            t.test_and_set().won(),
+            "a fresh epoch must win again even after pid exhaustion"
+        );
+    }
+
+    #[test]
+    fn churn_never_exhausts_the_pid_space() {
+        // The long-lived workload that motivated the epoch redesign:
+        // win/reset cycles far beyond the per-epoch contender budget.
+        let t = TicketTas::new(TournamentTas::new(2));
+        for round in 0..100 {
+            assert!(t.test_and_set().won(), "round {round}");
+            assert!(t.test_and_set().lost(), "round {round}");
+            assert!(t.test_and_set().lost(), "round {round} over-capacity");
+            ResettableTas::reset(&t);
+        }
+        assert_eq!(t.ticket_epoch(), 100);
+    }
+
+    #[test]
+    fn exhausted_epoch_keeps_losing_cleanly_until_reset() {
+        let t = TicketTas::new(TournamentTas::new(2));
+        assert!(t.test_and_set().won());
+        // Hold the win; every further call this epoch loses, including
+        // far past the contender budget — no panic, no wraparound.
+        for _ in 0..64 {
+            assert!(t.test_and_set().lost());
+        }
+        assert!(Tas::is_set(&t));
+        ResettableTas::reset(&t);
+        assert!(t.test_and_set().won());
+    }
+
+    #[test]
     fn concurrent_tickets_single_winner() {
         for trial in 0..20 {
             let t = Arc::new(TicketTas::new(TournamentTas::new(8)));
@@ -131,8 +253,120 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_churn_with_resets_has_one_winner_per_epoch() {
+        // Threads race for the slot; whoever wins resets it, handing the
+        // next epoch to the field. Total wins must equal total resets
+        // (one winner per epoch), and nothing may panic or wedge.
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 50;
+        let t = Arc::new(TicketTas::new(TournamentTas::new(2 * THREADS)));
+        let wins = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let t = Arc::clone(&t);
+                    scope.spawn(move || {
+                        let mut wins = 0u32;
+                        for _ in 0..ROUNDS {
+                            if t.test_and_set().won() {
+                                wins += 1;
+                                // We own this epoch's win: release it.
+                                ResettableTas::reset(&*t);
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .sum::<u32>()
+        });
+        let epochs = t.ticket_epoch();
+        assert_eq!(
+            u64::from(wins),
+            epochs,
+            "every epoch must elect exactly one winner (wins == resets)"
+        );
+    }
+
+    #[test]
     fn inner_access() {
         let t = TicketTas::new(TournamentTas::new(2));
         assert_eq!(t.inner().capacity(), 2);
+    }
+
+    /// A minimal epoch TAS whose epoch saturates at [`Self::CAP`] —
+    /// a stand-in for a tournament that burned all 2^32 of its resets.
+    struct SaturatingTas {
+        epoch: AtomicU64,
+        /// `0` = unset, `e + 1` = won in epoch `e`.
+        won: AtomicU64,
+    }
+
+    impl SaturatingTas {
+        const CAP: u64 = 3;
+
+        fn new() -> Self {
+            Self {
+                epoch: AtomicU64::new(0),
+                won: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl IdTas for SaturatingTas {
+        fn test_and_set_as(&self, pid: usize) -> TasResult {
+            self.test_and_set_as_in_epoch(pid, self.epoch.load(Ordering::Acquire))
+        }
+
+        fn is_set(&self) -> bool {
+            self.won.load(Ordering::Acquire) == self.epoch.load(Ordering::Acquire) + 1
+        }
+
+        fn test_and_set_as_in_epoch(&self, _pid: usize, epoch: u64) -> TasResult {
+            let cur = self.won.load(Ordering::Acquire);
+            TasResult::from_won(
+                cur < epoch + 1
+                    && self
+                        .won
+                        .compare_exchange(cur, epoch + 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok(),
+            )
+        }
+    }
+
+    impl ResettableIdTas for SaturatingTas {
+        fn epoch(&self) -> u64 {
+            self.epoch.load(Ordering::Acquire)
+        }
+
+        fn advance_epoch(&self) {
+            let _ = self.epoch.fetch_update(Ordering::AcqRel, Ordering::Acquire, |e| {
+                (e < Self::CAP).then_some(e + 1)
+            });
+        }
+    }
+
+    #[test]
+    fn saturated_epoch_degrades_to_one_shot_without_reissuing_wins() {
+        let t = TicketTas::with_capacity(SaturatingTas::new(), 2);
+        // Burn every available epoch.
+        for round in 0..SaturatingTas::CAP {
+            assert!(t.test_and_set().won(), "round {round}");
+            ResettableTas::reset(&t);
+        }
+        assert_eq!(t.ticket_epoch(), SaturatingTas::CAP);
+        // The final epoch's win sticks: a reset that cannot advance the
+        // epoch must NOT reopen the ticket window, or the next caller
+        // would redraw pid 0 in the still-live epoch and double-win.
+        assert!(t.test_and_set().won());
+        ResettableTas::reset(&t);
+        assert_eq!(t.ticket_epoch(), SaturatingTas::CAP, "epoch saturated");
+        assert!(
+            t.test_and_set().lost(),
+            "saturated slot must degrade to one-shot, never duplicate a win"
+        );
+        assert!(Tas::is_set(&t));
     }
 }

@@ -73,3 +73,57 @@ fn rebatching_over_register_tas_threaded() {
         "uniqueness must survive the register substrate under real concurrency"
     );
 }
+
+mod epoch_reset_properties {
+    //! Property: an epoch-reset slot is indistinguishable from a freshly
+    //! built one. Whatever history a `TicketTas<TournamentTas>` slot
+    //! accumulates — wins, loss storms past the ticket window, repeated
+    //! resets — one `reset()` must leave it answering exactly like a
+    //! brand-new slot of the same capacity, because the reset is a lazy
+    //! epoch bump, not a rebuild: stale registers are *reinterpreted*,
+    //! and any leak of old state through the stamps would show up here.
+
+    use loose_renaming::tas::rwtas::TournamentTas;
+    use loose_renaming::tas::{ResettableTas, Tas, TicketTas};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn epoch_reset_slots_are_indistinguishable_from_fresh(
+            capacity in 1usize..12,
+            burns in 0usize..24,
+            rounds in 1usize..4,
+        ) {
+            let used = TicketTas::new(TournamentTas::new(capacity));
+            for round in 0..rounds {
+                // Dirty the slot: a win plus `burns` losing calls (which
+                // may drain the epoch's ticket window entirely).
+                let _ = used.test_and_set();
+                for _ in 0..burns {
+                    prop_assert!(used.test_and_set().lost());
+                }
+                used.reset();
+
+                // From here the used slot and a pristine twin must agree
+                // call-for-call, across the full ticket window and past
+                // its end.
+                let fresh = TicketTas::new(TournamentTas::new(capacity));
+                prop_assert_eq!(Tas::is_set(&used), Tas::is_set(&fresh));
+                prop_assert_eq!(used.tickets_issued(), fresh.tickets_issued());
+                for call in 0..capacity + 2 {
+                    prop_assert_eq!(
+                        used.test_and_set(),
+                        fresh.test_and_set(),
+                        "call {} after reset {} diverged from a fresh slot",
+                        call,
+                        round
+                    );
+                    prop_assert_eq!(Tas::is_set(&used), Tas::is_set(&fresh));
+                }
+                prop_assert_eq!(used.tickets_issued(), fresh.tickets_issued());
+            }
+        }
+    }
+}

@@ -15,6 +15,11 @@
 //! 4. **Pool integrity** — the sharded lock-free pool never hands one
 //!    session to two threads at once and never leaks workers, even with
 //!    far more threads than shards and churn far beyond capacity.
+//! 5. **Substrate parity** — the register-based tournament backend gives
+//!    the same long-lived guarantees as the atomic one: churn ≫ the
+//!    namespace size recycles names through the epoch-stamped tree
+//!    reset, and draining an epoch's per-slot ticket window surfaces a
+//!    structured error (never a panic) and heals on release.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -41,6 +46,12 @@ fn stress_with_pool(
         builder = builder.pool_shards(shards);
     }
     let service = builder.build().expect("build");
+    churn(&service, threads, iterations);
+}
+
+/// Acquire/release churn on an already-built service, with the live
+/// occupancy table asserting cross-thread uniqueness at every hold.
+fn churn(service: &NameService, threads: usize, iterations: usize) {
     assert!(service.supports_release());
     let occupied: Vec<AtomicBool> = (0..service.namespace_size())
         .map(|_| AtomicBool::new(false))
@@ -279,4 +290,75 @@ fn namespace_exhaustion_is_an_error_not_a_panic() {
     drop(guards);
     // After draining, acquisition works again.
     assert!(service.acquire().is_ok());
+}
+
+/// Tournament-substrate churn: the mirror of `stress` on
+/// `TasBackend::Tournament`. Sized from the built namespace so the churn
+/// is always ≥ 10× its size — far beyond both the namespace and every
+/// slot's per-epoch ticket window, so this passes only if releases
+/// really reset the register trees (O(1) epoch bumps) and reissue
+/// tickets.
+fn stress_tournament(algorithm: Algorithm, threads: usize) {
+    let service = NameService::builder(algorithm, threads)
+        .tas_backend(TasBackend::Tournament)
+        .seed_policy(SeedPolicy::Fixed(0x70AB))
+        .build()
+        .expect("build");
+    assert!(service.supports_release());
+    let iterations = (10 * service.namespace_size()).div_ceil(threads) + 5;
+    churn(&service, threads, iterations);
+    assert!(threads * iterations >= 10 * service.namespace_size());
+}
+
+#[test]
+fn tournament_rebatching_churn_is_unique_and_recycles() {
+    stress_tournament(Algorithm::Rebatching, 4);
+}
+
+#[test]
+fn tournament_adaptive_churn_is_unique_and_recycles() {
+    // Also exercises abandoned-win recycling over the register trees:
+    // a superseded race/search win is released by resetting a slot the
+    // machine (not the caller) won — same epoch-bump path.
+    stress_tournament(Algorithm::Adaptive, 4);
+}
+
+#[test]
+fn tournament_fast_adaptive_churn_is_unique_and_recycles() {
+    stress_tournament(Algorithm::FastAdaptive, 4);
+}
+
+#[test]
+fn tournament_ticket_exhaustion_is_an_error_and_heals_on_release() {
+    // Capacity 2 ⇒ each slot's tournament holds max(2·2, 8) = 8
+    // contender tickets per epoch. Holding the whole namespace while
+    // spamming acquires burns far more than that per slot; every failed
+    // acquire must surface the structured exhaustion error — never a
+    // panic, never a duplicate name.
+    let service = NameService::builder(Algorithm::Rebatching, 2)
+        .tas_backend(TasBackend::Tournament)
+        .seed_policy(SeedPolicy::Fixed(0xE4A))
+        .build()
+        .expect("build");
+    let guards: Vec<_> = (0..service.namespace_size())
+        .map(|_| service.acquire().expect("namespace not yet full"))
+        .collect();
+    for _ in 0..40 {
+        match service.acquire() {
+            Err(RenamingError::NamespaceExhausted { namespace }) => {
+                assert_eq!(namespace, service.namespace_size());
+            }
+            Err(other) => panic!("expected NamespaceExhausted, got {other}"),
+            Ok(guard) => panic!("duplicate name {} while namespace full", guard.value()),
+        }
+    }
+    drop(guards);
+    assert_eq!(service.held(), 0);
+    // The releases bumped every slot's epoch, reissuing its tickets:
+    // the pre-reset bug left the pid space drained for good here.
+    for _ in 0..20 {
+        let guard = service.acquire().expect("ticket windows reissued");
+        drop(guard);
+    }
+    assert_eq!(service.held(), 0);
 }
