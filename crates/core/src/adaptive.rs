@@ -118,6 +118,11 @@ impl driver::AbandonedNames for AdaptiveMachine {
     }
 }
 
+/// The adaptive race/search walk re-derives its starting object from the
+/// contention it observes, so there is no cheap continuation: each batch
+/// request runs as a fresh operation (the default rearm = reset).
+impl driver::BatchAcquire for AdaptiveMachine {}
+
 impl driver::ResetMachine for AdaptiveMachine {
     fn reset(&mut self) {
         // Recycle the abandoned-wins buffer, then delegate so the reset

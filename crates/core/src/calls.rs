@@ -132,6 +132,9 @@ pub struct ObjectCall {
     /// Whether the backup phase was entered.
     entered_backup: bool,
     probes: u64,
+    /// Where the last win happened, for batched continuation (see
+    /// [`rearm_continue`](Self::rearm_continue)).
+    resume: Option<ResumeAt>,
 }
 
 #[derive(Debug, Clone)]
@@ -139,6 +142,17 @@ enum ObjectState {
     Batch(BatchCall),
     Backup { next: usize },
     Finished,
+}
+
+/// The point a finished (winning) pass can be resumed from: names below
+/// this point are densely claimed, so a batched follow-up request starts
+/// here instead of re-probing the crowded prefix.
+#[derive(Debug, Clone, Copy)]
+enum ResumeAt {
+    /// Resume with a fresh probe budget in this batch.
+    Batch(usize),
+    /// Resume the sequential backup scan at this offset.
+    Backup(usize),
 }
 
 impl ObjectCall {
@@ -162,6 +176,7 @@ impl ObjectCall {
             deepest_batch: 0,
             entered_backup: false,
             probes: 0,
+            resume: None,
         }
     }
 
@@ -189,6 +204,45 @@ impl ObjectCall {
         self.deepest_batch = 0;
         self.entered_backup = false;
         self.probes = 0;
+        self.resume = None;
+    }
+
+    /// Rearms a *won* call to continue from the point its win happened —
+    /// the batched-acquire fast path: a follow-up request on the same
+    /// object gets a fresh probe budget at the batch (or backup offset)
+    /// the previous win landed in, instead of rewinding to batch 0 and
+    /// re-probing the prefix the batch has already filled. Uniqueness is
+    /// carried by the TAS slots, so a shifted probe schedule is always
+    /// safe; it only changes which empty slot a request finds first.
+    ///
+    /// Returns `false` (and leaves the call finished) when there is
+    /// nothing to resume from — no recorded win, or the backup scan's
+    /// win was the namespace's last location. Callers then fall back to
+    /// a full [`reset`](Self::reset).
+    pub fn rearm_continue(&mut self) -> bool {
+        let Some(resume) = self.resume else {
+            return false;
+        };
+        match resume {
+            ResumeAt::Batch(batch) => {
+                self.state =
+                    ObjectState::Batch(BatchCall::new_ref(&self.layout, self.base, batch));
+                self.deepest_batch = batch;
+                self.entered_backup = false;
+            }
+            ResumeAt::Backup(next) => {
+                if next >= self.layout.namespace_size() {
+                    self.resume = None;
+                    return false;
+                }
+                self.state = ObjectState::Backup { next };
+                self.deepest_batch = self.layout.batch_count() - 1;
+                self.entered_backup = true;
+            }
+        }
+        self.probes = 0;
+        self.resume = None;
+        true
     }
 
     /// Chooses the next probe location.
@@ -211,6 +265,7 @@ impl ObjectCall {
         match &mut self.state {
             ObjectState::Batch(call) => match call.observe(won) {
                 CallStatus::Acquired(loc) => {
+                    self.resume = Some(ResumeAt::Batch(call.batch()));
                     self.state = ObjectState::Finished;
                     CallStatus::Acquired(loc)
                 }
@@ -238,6 +293,7 @@ impl ObjectCall {
             ObjectState::Backup { next } => {
                 if won {
                     let loc = self.base + *next;
+                    self.resume = Some(ResumeAt::Backup(*next + 1));
                     self.state = ObjectState::Finished;
                     CallStatus::Acquired(loc)
                 } else {
@@ -383,6 +439,62 @@ mod tests {
         }
         assert_eq!(probes, l.max_probes() + l.namespace_size());
         assert!(call.entered_backup());
+    }
+
+    #[test]
+    fn rearm_continue_resumes_in_the_winning_batch() {
+        let l = layout(64);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut call = ObjectCall::new(Arc::clone(&l), 0);
+        // Exhaust batch 0, then win in batch 1.
+        for _ in 0..l.probes(0) {
+            call.propose(&mut rng);
+            call.observe(false);
+        }
+        let loc = call.propose(&mut rng);
+        assert_eq!(call.observe(true), CallStatus::Acquired(loc));
+        assert!(call.rearm_continue(), "a won call must be resumable");
+        assert_eq!(call.deepest_batch(), 1, "resumes at the winning batch");
+        assert_eq!(call.probes(), 0, "fresh probe budget");
+        // The next probe lands inside batch 1's bounds.
+        let probe = call.propose(&mut rng);
+        let lo = l.batch_offset(1);
+        let hi = lo + l.batch_size(1);
+        assert!((lo..hi).contains(&probe));
+    }
+
+    #[test]
+    fn rearm_continue_without_a_win_returns_false() {
+        let l = layout(64);
+        let mut call = ObjectCall::new(Arc::clone(&l), 0);
+        assert!(!call.rearm_continue(), "nothing to resume on a fresh call");
+    }
+
+    #[test]
+    fn rearm_continue_resumes_the_backup_scan_past_the_win() {
+        let l = layout(4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut call = ObjectCall::with_backup(Arc::clone(&l), 0);
+        // Fail everything until backup, then win at the first scan slot.
+        loop {
+            call.propose(&mut rng);
+            if call.entered_backup() {
+                break;
+            }
+            call.observe(false);
+        }
+        assert_eq!(call.observe(true), CallStatus::Acquired(0));
+        assert!(call.rearm_continue());
+        assert_eq!(call.propose(&mut rng), 1, "scan continues past the win");
+        // Winning the namespace's last slot leaves nothing to resume.
+        let mut tail = call.clone();
+        for next in 1..l.namespace_size() {
+            let probe = tail.propose(&mut rng);
+            assert_eq!(probe, next);
+            let won = next == l.namespace_size() - 1;
+            tail.observe(won);
+        }
+        assert!(!tail.rearm_continue(), "no namespace left to scan");
     }
 
     #[test]

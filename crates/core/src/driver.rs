@@ -33,6 +33,31 @@ pub trait ResetMachine: Renamer {
     fn reset(&mut self);
 }
 
+/// A machine that can serve a *batch* of acquire requests back-to-back,
+/// amortizing its probe state across the batch — the paper's `BatchCall`
+/// shape, surfaced to the service layer's flat-combining front-end.
+///
+/// Between two wins of one batch the driver calls
+/// [`rearm_after_win`](Self::rearm_after_win) instead of
+/// [`ResetMachine::reset`]. The default simply resets, which is always
+/// correct (each request behaves exactly like a fresh operation);
+/// machines with a cheaper continuation override it — ReBatching resumes
+/// its batch walk at the batch the previous win landed in, skipping the
+/// prefix the batch has already filled.
+///
+/// Implementations must uphold the same postcondition as `reset`: after
+/// `rearm_after_win`, driving the machine acquires a fresh, unique name
+/// (uniqueness is carried by the TAS slots, so any probe schedule is
+/// safe — the contract is only that the machine probes until it wins or
+/// reports exhaustion).
+pub trait BatchAcquire: ResetMachine {
+    /// Prepares the machine for the next request of the current batch,
+    /// right after a win.
+    fn rearm_after_win(&mut self) {
+        self.reset();
+    }
+}
+
 /// A machine that may win more TAS locations than the one name it
 /// returns.
 ///
@@ -93,6 +118,42 @@ impl<M: ResetMachine, T: Tas> NameSession<M, T> {
     }
 }
 
+impl<M: BatchAcquire, T: Tas> NameSession<M, T> {
+    /// Acquires `count` unique names in one batched sweep, appending
+    /// them to `out`.
+    ///
+    /// The machine is reset once at the start; between wins it is
+    /// *rearmed* ([`BatchAcquire::rearm_after_win`]) rather than reset,
+    /// so machines with batch structure amortize their probe work across
+    /// the whole batch — a request starts probing where the previous win
+    /// left off instead of rewinding to the (already crowded) front.
+    /// `acquire_batch(1, ..)` behaves exactly like
+    /// [`get_name`](Self::get_name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::NamespaceExhausted`] if the namespace
+    /// cannot satisfy the whole batch; names already won stay acquired
+    /// and are left in `out` (the caller distributes them or releases
+    /// them).
+    pub fn acquire_batch<R: Rng>(
+        &mut self,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<Name>,
+    ) -> Result<(), RenamingError> {
+        self.machine.reset();
+        for served in 0..count {
+            if served > 0 {
+                self.machine.rearm_after_win();
+            }
+            let name = drive(&mut self.machine, &self.slots, rng)?;
+            out.push(name);
+        }
+        Ok(())
+    }
+}
+
 impl<M, T> NameSession<M, T>
 where
     M: ResetMachine + AbandonedNames,
@@ -108,6 +169,36 @@ where
     pub fn get_name_recycling<R: Rng>(&mut self, rng: &mut R) -> Result<Name, RenamingError> {
         self.machine.reset();
         drive_recycling(&mut self.machine, &self.slots, rng)
+    }
+}
+
+impl<M, T> NameSession<M, T>
+where
+    M: BatchAcquire + AbandonedNames,
+    T: ResettableTas,
+{
+    /// Like [`acquire_batch`](Self::acquire_batch), but reopens each
+    /// request's superseded TAS wins as it completes (the long-lived
+    /// mode for the adaptive algorithms; see [`AbandonedNames`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`acquire_batch`](Self::acquire_batch).
+    pub fn acquire_batch_recycling<R: Rng>(
+        &mut self,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<Name>,
+    ) -> Result<(), RenamingError> {
+        self.machine.reset();
+        for served in 0..count {
+            if served > 0 {
+                self.machine.rearm_after_win();
+            }
+            let name = drive_recycling(&mut self.machine, &self.slots, rng)?;
+            out.push(name);
+        }
+        Ok(())
     }
 }
 

@@ -305,6 +305,11 @@ impl driver::AbandonedNames for FastAdaptiveMachine {
     }
 }
 
+/// Like the adaptive machine, the binary-search walk starts from the
+/// observed contention each time: batch requests rerun from scratch
+/// (the default rearm = reset).
+impl driver::BatchAcquire for FastAdaptiveMachine {}
+
 impl driver::ResetMachine for FastAdaptiveMachine {
     fn reset(&mut self) {
         // A reset mid-search (e.g. after a caller abandoned a drive)

@@ -104,21 +104,88 @@ impl RateSystem {
         loc
     }
 
+    /// Types per chunk of [`step_sharded`](Self::step_sharded). Fixed —
+    /// never derived from the worker count — so the floating-point
+    /// association of the per-location sums, and with it every rate, is
+    /// identical at any thread count.
+    const SHARD_CHUNK: usize = 4096;
+
     /// Advances one layer with the given type→location mapping over `s`
     /// locations; returns the new total rate.
+    ///
+    /// Equivalent to [`step_sharded`](Self::step_sharded) with a serial
+    /// mapper — the two produce bit-identical rates for the same inputs.
     ///
     /// # Panics
     ///
     /// Panics if `locations.len() != self.len()` or a location is `>= s`.
     pub fn step(&mut self, locations: &[usize], s: usize) -> f64 {
-        let loc = self.location_rates(locations, s);
-        let factor: Vec<f64> = loc
-            .iter()
-            .map(|&l| if l > 0.0 { coupled_rate(l) / l } else { 0.0 })
-            .collect();
-        for (&l, r) in locations.iter().zip(&mut self.rates) {
-            *r *= factor[l];
-        }
+        self.step_sharded(locations, s, |count, chunk| {
+            (0..count).map(chunk).collect()
+        })
+    }
+
+    /// [`step`](Self::step) with the per-type work fanned out through a
+    /// caller-supplied mapper (e.g. a worker pool).
+    ///
+    /// The types are split into fixed chunks of `Self::SHARD_CHUNK`;
+    /// `shard(count, chunk)` must return `(0..count).map(chunk)` in
+    /// index order, but the chunks are independent, so the mapper may
+    /// evaluate them on any threads in any order. Each chunk's partial
+    /// location sums are a left fold from `0.0` in type order, and the
+    /// cross-chunk reduction folds the partials in chunk order — an
+    /// association that depends only on the fixed chunk size, so the
+    /// result is byte-identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations.len() != self.len()` or a location is `>= s`.
+    pub fn step_sharded<F>(&mut self, locations: &[usize], s: usize, mut shard: F) -> f64
+    where
+        F: FnMut(usize, &(dyn Fn(usize) -> Vec<f64> + Sync)) -> Vec<Vec<f64>>,
+    {
+        assert_eq!(locations.len(), self.len(), "one location per type");
+        let len = self.rates.len();
+        let chunks = len.div_ceil(Self::SHARD_CHUNK);
+        let span = |c: usize| {
+            let lo = c * Self::SHARD_CHUNK;
+            (lo, (lo + Self::SHARD_CHUNK).min(len))
+        };
+        let updated = {
+            let rates: &[f64] = &self.rates;
+            // Pass 1: per-chunk partial location sums.
+            let partials = shard(chunks, &|c| {
+                let (lo, hi) = span(c);
+                let mut loc = vec![0.0f64; s];
+                for (&l, &r) in locations[lo..hi].iter().zip(&rates[lo..hi]) {
+                    loc[l] += r;
+                }
+                loc
+            });
+            let mut loc = vec![0.0f64; s];
+            for partial in &partials {
+                for (acc, &p) in loc.iter_mut().zip(partial) {
+                    *acc += p;
+                }
+            }
+            let factor: Vec<f64> = loc
+                .iter()
+                .map(|&l| if l > 0.0 { coupled_rate(l) / l } else { 0.0 })
+                .collect();
+            // Pass 2: elementwise rate update — one multiply per type,
+            // exact under any grouping.
+            shard(chunks, &|c| {
+                let (lo, hi) = span(c);
+                locations[lo..hi]
+                    .iter()
+                    .zip(&rates[lo..hi])
+                    .map(|(&l, &r)| r * factor[l])
+                    .collect()
+            })
+        };
+        self.rates.clear();
+        self.rates.extend(updated.into_iter().flatten());
+        debug_assert_eq!(self.rates.len(), len, "mapper must preserve chunk shape");
         self.total()
     }
 }
@@ -274,5 +341,86 @@ mod tests {
     fn mismatched_locations_panic() {
         let mut sys = RateSystem::uniform(4, 1.0);
         sys.step(&[0, 1], 4);
+    }
+
+    /// A multi-chunk system (> SHARD_CHUNK types) with a deterministic
+    /// scattered mapping, for the mapper-equivalence tests below.
+    fn multi_chunk_fixture() -> (RateSystem, Vec<usize>, usize) {
+        let types = 3 * RateSystem::SHARD_CHUNK + 17;
+        let s = 64;
+        let locations: Vec<usize> = (0..types).map(|i| (i * 31 + i / 7) % s).collect();
+        (RateSystem::uniform(types, s as f64 / 4.0), locations, s)
+    }
+
+    #[test]
+    fn step_sharded_serial_mapper_is_bitwise_identical_to_step() {
+        let (mut serial, locations, s) = multi_chunk_fixture();
+        let mut sharded = serial.clone();
+        for layer in 0..4 {
+            let a = serial.step(&locations, s);
+            let b = sharded.step_sharded(&locations, s, |count, chunk| {
+                (0..count).map(chunk).collect()
+            });
+            assert_eq!(a.to_bits(), b.to_bits(), "layer {layer} totals diverge");
+            assert_eq!(serial, sharded, "layer {layer} rates diverge");
+        }
+    }
+
+    #[test]
+    fn step_sharded_is_identical_for_a_reversed_mapper() {
+        // Evaluate the chunks back to front — the per-chunk work is
+        // independent, so only the index-ordered reassembly matters.
+        let (mut forward, locations, s) = multi_chunk_fixture();
+        let mut reversed = forward.clone();
+        for _ in 0..4 {
+            let a = forward.step(&locations, s);
+            let b = reversed.step_sharded(&locations, s, |count, chunk| {
+                let mut out: Vec<Vec<f64>> = (0..count).rev().map(chunk).collect();
+                out.reverse();
+                out
+            });
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn step_sharded_is_identical_across_real_thread_counts() {
+        // Static striping over scoped worker threads (worker w takes
+        // chunks w, w+T, ...), reassembled by index — the sweep-pool
+        // shape experiment e9 uses. Every thread count must produce the
+        // very same bits.
+        let (reference, locations, s) = multi_chunk_fixture();
+        let run = |threads: usize| {
+            let mut sys = reference.clone();
+            let totals: Vec<u64> = (0..3)
+                .map(|_| {
+                    sys.step_sharded(&locations, s, |count, chunk| {
+                        let mut out: Vec<Option<Vec<f64>>> = vec![None; count];
+                        std::thread::scope(|scope| {
+                            for (w, stripe) in
+                                out.chunks_mut(count.div_ceil(threads).max(1)).enumerate()
+                            {
+                                let base = w * count.div_ceil(threads).max(1);
+                                scope.spawn(move || {
+                                    for (k, slot) in stripe.iter_mut().enumerate() {
+                                        *slot = Some(chunk(base + k));
+                                    }
+                                });
+                            }
+                        });
+                        out.into_iter().map(|v| v.expect("chunk computed")).collect()
+                    })
+                    .to_bits()
+                })
+                .collect();
+            (totals, sys)
+        };
+        let (bits1, sys1) = run(1);
+        for threads in [2, 3, 4] {
+            let (bits, sys) = run(threads);
+            assert_eq!(bits1, bits, "{threads} threads diverged");
+            assert_eq!(sys1, sys, "{threads} threads: rates diverged");
+        }
     }
 }

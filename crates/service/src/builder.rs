@@ -75,6 +75,45 @@ impl Algorithm {
     }
 }
 
+/// How a [`NameService`] routes its `acquire` hot path.
+///
+/// # Example
+///
+/// Both modes serve the same contract; single-threaded they produce
+/// byte-identical sequences (a combining batch of one *is* a direct
+/// acquire):
+///
+/// ```
+/// use renaming_service::{AcquireMode, Algorithm, NameService, SeedPolicy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let seq = |mode: AcquireMode| -> Vec<usize> {
+///     let service = NameService::builder(Algorithm::Rebatching, 8)
+///         .acquire_mode(mode)
+///         .seed_policy(SeedPolicy::Fixed(7))
+///         .build()
+///         .expect("build");
+///     (0..10).map(|_| service.acquire().expect("name").value()).collect()
+/// };
+/// assert_eq!(seq(AcquireMode::Direct), seq(AcquireMode::Combining));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AcquireMode {
+    /// Every thread drives its own checked-out session — the PR 5
+    /// behaviour, unchanged. The default.
+    #[default]
+    Direct,
+    /// Flat combining: threads publish requests into padded slots; one
+    /// thread elects itself combiner and satisfies the whole batch
+    /// through a single session in one rebatching sweep (the machine is
+    /// rearmed, not reset, between wins — the paper's `BatchCall`
+    /// amortization applied to service traffic). Best under heavy
+    /// multi-thread contention; identical results single-threaded.
+    Combining,
+}
+
 /// The test-and-set substrate under the namespace's slots.
 ///
 /// # Example
@@ -145,6 +184,7 @@ pub struct NameServiceBuilder {
     seed_policy: SeedPolicy,
     pool_kind: PoolKind,
     pool_shards: Option<usize>,
+    acquire_mode: AcquireMode,
 }
 
 impl NameServiceBuilder {
@@ -161,6 +201,7 @@ impl NameServiceBuilder {
             seed_policy: SeedPolicy::Entropy,
             pool_kind: PoolKind::Sharded,
             pool_shards: None,
+            acquire_mode: AcquireMode::Direct,
         }
     }
 
@@ -216,6 +257,15 @@ impl NameServiceBuilder {
         self
     }
 
+    /// The acquire-path routing (default [`AcquireMode::Direct`]).
+    /// [`AcquireMode::Combining`] batches concurrent acquires through a
+    /// flat-combining front-end (see [`AcquireMode`]).
+    #[must_use]
+    pub fn acquire_mode(mut self, mode: AcquireMode) -> Self {
+        self.acquire_mode = mode;
+        self
+    }
+
     /// Builds the service.
     ///
     /// # Errors
@@ -235,6 +285,7 @@ impl NameServiceBuilder {
             self.seed_policy,
             self.pool_kind,
             self.pool_shards,
+            self.acquire_mode,
         ))
     }
 

@@ -1,0 +1,565 @@
+//! The flat-combining acquire front-end
+//! ([`AcquireMode::Combining`](crate::AcquireMode)).
+//!
+//! Under heavy contention, N threads each driving an independent machine
+//! is exactly the traffic shape the paper's algorithms are *worst* at:
+//! every thread pays the full probe cost against slots the others are
+//! busy filling. The paper's own core primitive — `BatchCall` — exists
+//! to amortize that work across many simultaneous requests. This module
+//! restructures service traffic into that shape:
+//!
+//! 1. each thread publishes its acquire request into a private,
+//!    cache-line-padded [`RequestSlot`] (the same `repr(align(128))`
+//!    discipline as [`crate::pool`]'s shards);
+//! 2. one thread CASes itself into the **combiner** role, drains every
+//!    pending slot, and satisfies the whole batch through a *single*
+//!    session — kept resident with the role, so combining acquires pay
+//!    no pool checkout/checkin traffic — in one rebatching sweep
+//!    ([`PooledSession::acquire_batch`](crate::PooledSession::acquire_batch)
+//!    rearms the machine between wins instead of rewinding it, so the
+//!    batch walks the namespace once instead of `count` times);
+//! 3. results are published back through the slots; non-combiners
+//!    spin briefly, then park, re-contending for the combiner lock on
+//!    every wake so a request can never strand.
+//!
+//! An *uncontended* acquirer short-circuits all three steps: it takes
+//! the combiner role directly, serves itself as a batch of one (which
+//! the rearm contract makes identical to the direct path), and drains
+//! any request that raced in behind it — so single-thread combining
+//! costs one CAS over the direct path instead of a full
+//! publish/elect/publish round-trip.
+//!
+//! One thread serving the batch also means the contended TAS cache lines
+//! stay resident on one core for the whole sweep instead of bouncing
+//! between every acquirer — the flat-combining effect.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+use std::time::Duration;
+
+use renaming_core::{Name, RenamingError};
+
+use crate::service::{NameService, Worker};
+
+/// Request-slot states. A slot cycles `EMPTY → PENDING → (DONE|FAILED)
+/// → EMPTY`; only the owning thread moves it out of `EMPTY` and out of
+/// `DONE`/`FAILED`, only the combiner moves it out of `PENDING`.
+const EMPTY: u32 = 0;
+const PENDING: u32 = 1;
+const DONE: u32 = 2;
+const FAILED: u32 = 3;
+
+/// Spins before a waiter starts yielding. Long enough to cover a small
+/// batch being served; short enough not to burn a core under
+/// oversubscription. Skipped entirely on single-CPU boxes, where a spin
+/// can never observe progress (the combiner is not running).
+const SPIN_LIMIT: u32 = 256;
+
+/// Yields between spinning and parking. On an oversubscribed box the
+/// combiner usually holds the lock only because it was descheduled;
+/// yielding hands it the CPU to finish, at a fraction of a park/unpark
+/// round-trip.
+const YIELD_LIMIT: u32 = 16;
+
+/// Park timeout: waiters re-contend for the combiner lock at least this
+/// often. The publish/park handshake (SeqCst on both sides, see
+/// [`Combiner::drain`]) makes the combiner's unpark reliable, so this is
+/// not the primary wake — it only bounds the stall of a request that was
+/// published while *no* combiner was active (the waiter wakes, wins the
+/// free lock, and serves itself).
+const PARK_TIMEOUT: Duration = Duration::from_micros(500);
+
+/// How many uncontended combiner turns keep the *short-critical-section*
+/// shape after the last observed contention (a failed fast-path lock
+/// CAS). While it decays the combiner releases the lock around the
+/// actual acquire, so a preemption almost never lands inside the role —
+/// the pile-up trigger on oversubscribed boxes. At zero the combiner
+/// holds the lock across the acquire instead, which is one atomic RMW
+/// per op cheaper — the shape a single-threaded caller always sees.
+const CONTENDED_WINDOW: u32 = 256;
+
+/// Drain rounds per combining session. Each round serves every request
+/// pending at its scan; a second round picks up requests that arrived
+/// during the first. Bounded so the combiner cannot be captured forever
+/// by a steady arrival stream (fairness: it eventually hands the role
+/// to a newcomer).
+const DRAIN_ROUNDS: usize = 4;
+
+/// Per-thread cap on remembered `(combiner id, slot lease)` pairs —
+/// the same bounded-TLS discipline as the pool's shard hints.
+const LEASES_PER_THREAD: usize = 64;
+
+/// One published acquire request. Padded to own its cache lines
+/// outright, so a waiter spinning on its own slot never false-shares
+/// with a neighbor's publication.
+#[repr(align(128))]
+struct RequestSlot {
+    /// Leased by a thread (see [`SlotLease`]): only the lease holder may
+    /// publish requests here.
+    claimed: AtomicBool,
+    state: AtomicU32,
+    /// The acquired name's value; meaningful only in state `DONE`.
+    result: AtomicUsize,
+    /// Set by the lease holder just before it parks, cleared on wake.
+    /// The combiner only touches the `waiter` mutex when this is set, so
+    /// publishing to a spinning/yielding waiter stays cheap. Flag and
+    /// state form a SeqCst store/load handshake on both sides, so a
+    /// publication can never race a park into a missed unpark.
+    parked: AtomicBool,
+    /// The lease holder's park/unpark handle. Written at lease claim,
+    /// cleared at lease drop; the combiner unparks through it after
+    /// publishing a result to a parked waiter.
+    waiter: Mutex<Option<Thread>>,
+}
+
+impl RequestSlot {
+    fn new() -> Self {
+        Self {
+            claimed: AtomicBool::new(false),
+            state: AtomicU32::new(EMPTY),
+            result: AtomicUsize::new(0),
+            parked: AtomicBool::new(false),
+            waiter: Mutex::new(None),
+        }
+    }
+}
+
+/// Whether this box has a single hardware thread — cached once. Waiters
+/// skip the spin phase there: with the combiner descheduled, a spin can
+/// only burn the quantum the combiner needs.
+fn single_cpu() -> bool {
+    use std::sync::OnceLock;
+    static SINGLE: OnceLock<bool> = OnceLock::new();
+    *SINGLE.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) == 1
+    })
+}
+
+/// The combiner lock, padded so contending CASes on it never share a
+/// line with any request slot.
+#[repr(align(128))]
+struct CombinerLock(AtomicBool);
+
+/// The shared combining state: the slot array and the combiner role.
+struct CombinerCore {
+    slots: Box<[RequestSlot]>,
+    lock: CombinerLock,
+    /// The combiner's *resident* worker session. Whoever holds the
+    /// combiner lock owns it: the session (and its TAS-line working
+    /// set) travels with the role instead of bouncing through the pool
+    /// on every acquire, so a combining acquire pays zero pool
+    /// checkout/checkin traffic. Lazily populated from the pool by the
+    /// first combiner.
+    resident: UnsafeCell<Option<Box<Worker>>>,
+    /// Occupancy mirror of `resident` (0 or 1), maintained under the
+    /// lock but readable without it — the service's worker conservation
+    /// accounting ([`NameService::resident_workers`]) reads it.
+    resident_count: AtomicUsize,
+    /// Published-request hint: incremented just before a waiter stores
+    /// `PENDING`, decremented by the combiner per served request. Lets
+    /// an uncontended combiner skip the full slot scan with one load; a
+    /// stale zero is benign (the waiter re-contends for the lock itself,
+    /// and the next combiner sees the count).
+    queued: AtomicUsize,
+    /// Contention decay counter (see [`CONTENDED_WINDOW`]): refreshed by
+    /// every failed fast-path lock CAS, decremented per uncontended
+    /// combiner turn.
+    contended: AtomicU32,
+    /// This core's key into the per-thread lease table.
+    id: u64,
+}
+
+// SAFETY: `slots` and `lock` are atomics. `resident` is only accessed
+// by the thread currently holding `lock`, whose Acquire CAS / Release
+// store edges order every access to it across combiner handoffs.
+unsafe impl Sync for CombinerCore {}
+
+/// Identity source for combiner cores (monotonic, never reused), keying
+/// each thread's slot leases per service.
+fn next_combiner_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A thread's exclusive claim on one request slot of one combiner.
+/// Dropping the lease (thread exit, or TLS eviction) releases the slot
+/// for other threads; the `Arc` keeps the slot array alive even if the
+/// service is gone.
+struct SlotLease {
+    core: Arc<CombinerCore>,
+    index: usize,
+}
+
+impl Drop for SlotLease {
+    fn drop(&mut self) {
+        let slot = &self.core.slots[self.index];
+        *slot.waiter.lock().expect("combiner waiter poisoned") = None;
+        // Release pairs with the Acquire CAS in `claim_slot`, ordering
+        // the waiter clear before the slot's next claim.
+        slot.claimed.store(false, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static LEASES: RefCell<Vec<(u64, SlotLease)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The flat-combining front-end of one [`NameService`]. Constructed when
+/// the service is built with
+/// [`AcquireMode::Combining`](crate::AcquireMode::Combining).
+pub(crate) struct Combiner {
+    core: Arc<CombinerCore>,
+}
+
+impl std::fmt::Debug for Combiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Combiner")
+            .field("slots", &self.core.slots.len())
+            .finish()
+    }
+}
+
+impl Combiner {
+    /// A combiner with one request slot per potential concurrent
+    /// acquirer: twice the hardware parallelism (threads beyond that are
+    /// not running, so their requests only queue), floored at 16 so an
+    /// oversubscribed small box still queues its waiters through the
+    /// batch path instead of spilling them to the direct fallback,
+    /// power-of-two, bounded.
+    pub(crate) fn new() -> Self {
+        let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_slots((2 * parallelism).max(16))
+    }
+
+    /// A combiner with an explicit slot count (clamped to `2..=256`,
+    /// rounded up to a power of two) — exposed for tests that need
+    /// threads to outnumber slots deterministically.
+    pub(crate) fn with_slots(slots: usize) -> Self {
+        let slots = slots.clamp(2, 256).next_power_of_two();
+        Self {
+            core: Arc::new(CombinerCore {
+                slots: (0..slots).map(|_| RequestSlot::new()).collect(),
+                lock: CombinerLock(AtomicBool::new(false)),
+                resident: UnsafeCell::new(None),
+                resident_count: AtomicUsize::new(0),
+                queued: AtomicUsize::new(0),
+                contended: AtomicU32::new(0),
+                id: next_combiner_id(),
+            }),
+        }
+    }
+
+    /// The calling thread's leased slot index in this combiner, claiming
+    /// one on first touch. `None` when every slot is leased by another
+    /// live thread — the caller then falls back to the direct path.
+    fn leased_slot(&self) -> Option<usize> {
+        LEASES.with(|leases| {
+            let mut leases = leases.borrow_mut();
+            if let Some((_, lease)) = leases.iter().find(|(id, _)| *id == self.core.id) {
+                return Some(lease.index);
+            }
+            let index = self.claim_slot()?;
+            if leases.len() >= LEASES_PER_THREAD {
+                leases.remove(0); // evict (and thereby release) the oldest
+            }
+            leases.push((self.core.id, SlotLease { core: Arc::clone(&self.core), index }));
+            Some(index)
+        })
+    }
+
+    fn claim_slot(&self) -> Option<usize> {
+        for (index, slot) in self.core.slots.iter().enumerate() {
+            if slot.claimed.load(Ordering::Relaxed) {
+                continue;
+            }
+            if slot
+                .claimed
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                *slot.waiter.lock().expect("combiner waiter poisoned") =
+                    Some(std::thread::current());
+                return Some(index);
+            }
+        }
+        None
+    }
+
+    /// Acquires one name through the combining path.
+    pub(crate) fn acquire(&self, service: &NameService) -> Result<Name, RenamingError> {
+        // Fast path: an uncontended acquirer takes the combiner role
+        // outright, without publishing a request. Its own acquire is a
+        // batch of one — identical to the direct path by the rearm
+        // contract (`reset` + drive, pinned by the golden tests) — and
+        // any requests that raced in behind it are drained before the
+        // role is released, so taking the shortcut never strands a
+        // published request.
+        if self
+            .core
+            .lock
+            .0
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            let mut worker = self.take_resident(service);
+            let contended = self.core.contended.load(Ordering::Relaxed);
+            if contended == 0 {
+                // Quiet shape: hold the role across the acquire. One
+                // atomic RMW for the whole op — cheaper than the direct
+                // path's pool checkout/checkin pair.
+                let result = worker.session.acquire(&mut worker.rng);
+                let wakeups = self.drain(&mut worker);
+                self.park_resident(worker);
+                self.core.lock.0.store(false, Ordering::Release);
+                for thread in wakeups {
+                    thread.unpark();
+                }
+                return result;
+            }
+            // Contended shape: release the role for the actual acquire,
+            // so the lock covers only the resident handoffs (~a dozen ns
+            // each) and a preemption almost never lands inside it — the
+            // pile-up trigger on oversubscribed boxes. A thread that
+            // takes the role meanwhile draws its own worker from the
+            // pool, which is the direct-mode norm. (We hold the lock, so
+            // the decay store cannot erase a concurrent refresh that
+            // matters: refreshers are about to fail this very CAS again.)
+            self.core.contended.store(contended - 1, Ordering::Relaxed);
+            self.core.lock.0.store(false, Ordering::Release);
+            let result = worker.session.acquire(&mut worker.rng);
+            if self
+                .core
+                .lock
+                .0
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                let wakeups = self.drain(&mut worker);
+                self.park_resident(worker);
+                self.core.lock.0.store(false, Ordering::Release);
+                for thread in wakeups {
+                    thread.unpark();
+                }
+            } else {
+                // Someone else holds the role (and serves the queue):
+                // our worker goes back to the pool instead.
+                service.checkin_worker(worker);
+            }
+            return result;
+        }
+        // The lock CAS failed: remember the contention so the next
+        // combiner turns keep their critical sections short.
+        self.core.contended.store(CONTENDED_WINDOW, Ordering::Relaxed);
+        let Some(index) = self.leased_slot() else {
+            // Every slot leased: serve this thread directly. Correctness
+            // is unaffected (both paths drive the same machines against
+            // the same slots); only the batching amortization is lost.
+            return service.acquire_direct();
+        };
+        let slot = &self.core.slots[index];
+        // Publish the request: bump the queued hint first (Release keeps
+        // it ordered before the state store, so a combiner that sees
+        // PENDING also sees the count), then flip the slot.
+        self.core.queued.fetch_add(1, Ordering::Release);
+        slot.state.store(PENDING, Ordering::Release);
+
+        let mut spins = 0u32;
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                DONE => {
+                    let value = slot.result.load(Ordering::Relaxed);
+                    slot.state.store(EMPTY, Ordering::Relaxed);
+                    return Ok(Name::new(value));
+                }
+                FAILED => {
+                    slot.state.store(EMPTY, Ordering::Relaxed);
+                    return Err(RenamingError::NamespaceExhausted {
+                        namespace: service.namespace_size(),
+                    });
+                }
+                _ => {}
+            }
+            if self
+                .core
+                .lock
+                .0
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                let mut worker = self.take_resident(service);
+                let wakeups = self.drain(&mut worker);
+                self.park_resident(worker);
+                self.core.lock.0.store(false, Ordering::Release);
+                for thread in wakeups {
+                    thread.unpark();
+                }
+                // Our own request was part of the drain (it was PENDING
+                // when we took the lock), so the next state load returns
+                // DONE or FAILED.
+                continue;
+            }
+            spins += 1;
+            if spins < SPIN_LIMIT && !single_cpu() {
+                std::hint::spin_loop();
+            } else if spins < SPIN_LIMIT + YIELD_LIMIT {
+                // The lock holder is likely descheduled (certainly so on
+                // a single-CPU box): hand it the rest of the quantum
+                // instead of burning it, then re-contend.
+                std::thread::yield_now();
+            } else {
+                // Dekker handshake with the combiner's publication: we
+                // store the parked flag then re-load the state; the
+                // combiner stores the state then loads the flag (all
+                // SeqCst). At least one side must see the other, so
+                // either we observe our result here and skip the park,
+                // or the combiner observes the flag and unparks us —
+                // a served request never sleeps out the full timeout.
+                slot.parked.store(true, Ordering::SeqCst);
+                if slot.state.load(Ordering::SeqCst) == PENDING {
+                    std::thread::park_timeout(PARK_TIMEOUT);
+                }
+                slot.parked.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Takes the resident worker, falling back to a pool checkout the
+    /// first time (or after [`Combiner::park_resident`] was never
+    /// reached on a panic path). Caller must hold the combiner lock.
+    fn take_resident(&self, service: &NameService) -> Box<Worker> {
+        // SAFETY: the combiner lock is held (see `Sync` for CombinerCore).
+        let resident = unsafe { &mut *self.core.resident.get() };
+        self.core.resident_count.store(0, Ordering::Relaxed);
+        resident
+            .take()
+            .unwrap_or_else(|| service.checkout_worker())
+    }
+
+    /// Stores the worker back as the resident session for the next
+    /// combiner. Caller must hold the combiner lock.
+    fn park_resident(&self, worker: Box<Worker>) {
+        // SAFETY: the combiner lock is held (see `Sync` for CombinerCore).
+        let resident = unsafe { &mut *self.core.resident.get() };
+        *resident = Some(worker);
+        self.core.resident_count.store(1, Ordering::Relaxed);
+    }
+
+    /// How many worker sessions are held resident by the combiner role
+    /// right now (0 or 1) — part of the service's worker conservation
+    /// law alongside the pooled and retired counts.
+    pub(crate) fn resident_workers(&self) -> usize {
+        self.core.resident_count.load(Ordering::Relaxed)
+    }
+
+    /// Serves every pending request through the combiner's worker.
+    /// Caller holds the combiner lock; the returned threads must be
+    /// unparked *after* releasing it, keeping futex syscalls out of the
+    /// critical section (a long combiner hold is what cascades into
+    /// pile-ups on oversubscribed boxes).
+    fn drain(&self, worker: &mut Worker) -> Vec<Thread> {
+        // `Vec::new` defers the allocation: a drain that finds nothing
+        // pending (the uncontended fast path) costs only the hint load.
+        let mut pending = Vec::new();
+        let mut names: Vec<Name> = Vec::new();
+        let mut wakeups = Vec::new();
+        for _ in 0..DRAIN_ROUNDS {
+            // The queued hint spares the uncontended turn the full slot
+            // scan. A stale zero skips a request that was *just*
+            // published — its owner is awake (it has not parked yet) and
+            // re-contends for the lock itself, so nothing strands.
+            if self.core.queued.load(Ordering::Acquire) == 0 {
+                return wakeups;
+            }
+            pending.clear();
+            for (index, slot) in self.core.slots.iter().enumerate() {
+                if slot.state.load(Ordering::Acquire) == PENDING {
+                    pending.push(index);
+                }
+            }
+            if pending.is_empty() {
+                return wakeups;
+            }
+            // One session serves the whole batch: the machine is rearmed
+            // between wins, so its probe walk — and the TAS lines it
+            // touches — is shared across every request in `pending`.
+            // A batch error (namespace exhausted mid-sweep) leaves a short
+            // `names`; the publication below fails the unserved remainder.
+            names.clear();
+            let _ = worker
+                .session
+                .acquire_batch(pending.len(), &mut worker.rng, &mut names);
+            // Publish in slot order. On a partial batch (namespace
+            // exhausted mid-sweep) the names that *were* won still go
+            // out — they are real acquisitions — and the remainder fails.
+            self.core.queued.fetch_sub(pending.len(), Ordering::Relaxed);
+            for (served, &index) in pending.iter().enumerate() {
+                let slot = &self.core.slots[index];
+                let state = match names.get(served) {
+                    Some(name) => {
+                        slot.result.store(name.value(), Ordering::Relaxed);
+                        DONE
+                    }
+                    None => FAILED,
+                };
+                // SeqCst store + SeqCst flag load is the combiner's half
+                // of the park handshake (see the waiter's park branch):
+                // a waiter that set its flag before this store is seen
+                // here and unparked; one that sets it after sees the
+                // state and never parks.
+                slot.state.store(state, Ordering::SeqCst);
+                if slot.parked.load(Ordering::SeqCst) {
+                    let waiter = slot.waiter.lock().expect("combiner waiter poisoned");
+                    if let Some(thread) = waiter.as_ref() {
+                        wakeups.push(thread.clone());
+                    }
+                }
+            }
+        }
+        wakeups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_counts_clamp_and_round() {
+        assert_eq!(Combiner::with_slots(0).core.slots.len(), 2);
+        assert_eq!(Combiner::with_slots(3).core.slots.len(), 4);
+        assert_eq!(Combiner::with_slots(usize::MAX).core.slots.len(), 256);
+    }
+
+    #[test]
+    fn request_slots_own_their_cache_lines() {
+        assert!(std::mem::align_of::<RequestSlot>() >= 128);
+        assert!(std::mem::size_of::<RequestSlot>().is_multiple_of(128));
+    }
+
+    #[test]
+    fn leases_are_sticky_per_thread_and_released_on_exit() {
+        let combiner = Combiner::with_slots(4);
+        let a = combiner.leased_slot().expect("claim");
+        assert_eq!(combiner.leased_slot(), Some(a), "lease is sticky");
+        let core = Arc::clone(&combiner.core);
+        std::thread::spawn(move || {
+            let combiner = Combiner { core };
+            let b = combiner.leased_slot().expect("claim");
+            assert_ne!(a, b, "two live threads never share a slot");
+            b
+        })
+        .join()
+        .expect("join");
+        // The spawned thread exited: its lease dropped, its slot is free
+        // again (claimed flag cleared, waiter handle gone).
+        let freed = combiner
+            .core
+            .slots
+            .iter()
+            .filter(|slot| !slot.claimed.load(Ordering::Relaxed))
+            .count();
+        assert_eq!(freed, 3, "only the live thread's slot stays claimed");
+    }
+}

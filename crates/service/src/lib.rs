@@ -48,12 +48,13 @@
 #![deny(missing_debug_implementations)]
 
 mod builder;
+mod combiner;
 mod guard;
 mod namespace;
 mod pool;
 mod service;
 
-pub use builder::{Algorithm, NameServiceBuilder, TasBackend};
+pub use builder::{AcquireMode, Algorithm, NameServiceBuilder, TasBackend};
 pub use guard::NameGuard;
 pub use namespace::{CountingSlot, Namespace, PooledSession, ServiceBackend, TournamentSlot};
 pub use pool::PoolKind;

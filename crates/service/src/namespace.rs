@@ -8,8 +8,8 @@ use renaming_baselines::{
 };
 use renaming_core::driver::NameSession;
 use renaming_core::{
-    AbandonedNames, AdaptiveRebatching, FastAdaptiveRebatching, Name, Rebatching, RenamingError,
-    ResetMachine,
+    AbandonedNames, AdaptiveRebatching, BatchAcquire, FastAdaptiveRebatching, Name, Rebatching,
+    RenamingError,
 };
 use renaming_tas::rwtas::TournamentTas;
 use renaming_tas::{AtomicTas, CountingTas, ResettableTas, Tas, TicketTas};
@@ -194,15 +194,43 @@ pub trait PooledSession: Send {
     ///
     /// As for the owning backend's [`Namespace::acquire`].
     fn acquire(&mut self, rng: &mut dyn RngCore) -> Result<Name, RenamingError>;
+
+    /// Acquires `count` unique names in one batched sweep, appending
+    /// them to `out` — the combining front-end's entry point (see
+    /// [`renaming_core::BatchAcquire`]). The machine is rearmed, not
+    /// reset, between wins, so batch-structured machines amortize their
+    /// probe state across the whole batch. `acquire_batch(1, ..)` is
+    /// exactly [`acquire`](Self::acquire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::NamespaceExhausted`] if the namespace
+    /// cannot satisfy the whole batch; names already won stay acquired
+    /// and are left in `out`.
+    fn acquire_batch(
+        &mut self,
+        count: usize,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<Name>,
+    ) -> Result<(), RenamingError>;
 }
 
 impl<M, T> PooledSession for NameSession<M, T>
 where
-    M: ResetMachine + Send,
+    M: BatchAcquire + Send,
     T: Tas,
 {
     fn acquire(&mut self, mut rng: &mut dyn RngCore) -> Result<Name, RenamingError> {
         self.get_name(&mut rng)
+    }
+
+    fn acquire_batch(
+        &mut self,
+        count: usize,
+        mut rng: &mut dyn RngCore,
+        out: &mut Vec<Name>,
+    ) -> Result<(), RenamingError> {
+        NameSession::acquire_batch(self, count, &mut rng, out)
     }
 }
 
@@ -212,16 +240,25 @@ where
 /// slots.
 struct RecyclingSession<M, T>(NameSession<M, T>)
 where
-    M: ResetMachine + AbandonedNames + Send,
+    M: BatchAcquire + AbandonedNames + Send,
     T: ResettableTas;
 
 impl<M, T> PooledSession for RecyclingSession<M, T>
 where
-    M: ResetMachine + AbandonedNames + Send,
+    M: BatchAcquire + AbandonedNames + Send,
     T: ResettableTas,
 {
     fn acquire(&mut self, mut rng: &mut dyn RngCore) -> Result<Name, RenamingError> {
         self.0.get_name_recycling(&mut rng)
+    }
+
+    fn acquire_batch(
+        &mut self,
+        count: usize,
+        mut rng: &mut dyn RngCore,
+        out: &mut Vec<Name>,
+    ) -> Result<(), RenamingError> {
+        self.0.acquire_batch_recycling(count, &mut rng, out)
     }
 }
 

@@ -9,7 +9,8 @@ use rand::SeedableRng;
 
 use renaming_core::{FastRng, Name, RenamingError};
 
-use crate::builder::NameServiceBuilder;
+use crate::builder::{AcquireMode, NameServiceBuilder};
+use crate::combiner::Combiner;
 use crate::guard::NameGuard;
 use crate::namespace::{PooledSession, ServiceBackend};
 use crate::pool::{MutexPool, PoolKind, ShardedPool};
@@ -75,9 +76,12 @@ impl SeedPolicy {
 /// stream. The stream id (and therefore the RNG seed) is assigned once,
 /// at construction — never at checkout — so which pool slot a worker
 /// lands in has no effect on the names it produces.
-struct Worker {
-    session: Box<dyn PooledSession>,
-    rng: FastRng,
+///
+/// `pub(crate)` so the combining front-end can check one out and drive
+/// its session through a whole batch.
+pub(crate) struct Worker {
+    pub(crate) session: Box<dyn PooledSession>,
+    pub(crate) rng: FastRng,
 }
 
 /// The checkout pool: either the sharded lock-free pool (default) or the
@@ -170,6 +174,10 @@ pub struct NameService {
     seed_policy: SeedPolicy,
     /// Next worker stream id; also the number of workers ever created.
     streams: AtomicU64,
+    /// `Some` iff the builder selected [`AcquireMode::Combining`]: the
+    /// flat-combining front-end acquires route through. `None` is the
+    /// direct path, byte-identical to pre-combining releases.
+    combiner: Option<Combiner>,
 }
 
 impl NameService {
@@ -185,17 +193,25 @@ impl NameService {
     /// the default sharded pool; see
     /// [`with_backend_pool`](Self::with_backend_pool) to choose.
     pub fn with_backend(backend: Arc<dyn ServiceBackend>, seed_policy: SeedPolicy) -> Self {
-        Self::with_backend_pool(backend, seed_policy, PoolKind::Sharded, None)
+        Self::with_backend_pool(
+            backend,
+            seed_policy,
+            PoolKind::Sharded,
+            None,
+            AcquireMode::Direct,
+        )
     }
 
     /// As [`with_backend`](Self::with_backend), additionally choosing
-    /// the session-pool implementation and (for the sharded pool) the
-    /// shard count. `shards: None` uses one shard per hardware thread.
+    /// the session-pool implementation, (for the sharded pool) the
+    /// shard count, and the acquire front-end. `shards: None` uses one
+    /// shard per hardware thread.
     pub fn with_backend_pool(
         backend: Arc<dyn ServiceBackend>,
         seed_policy: SeedPolicy,
         pool: PoolKind,
         shards: Option<usize>,
+        acquire_mode: AcquireMode,
     ) -> Self {
         let pool = match pool {
             PoolKind::Sharded => SessionPool::Sharded(ShardedPool::new(
@@ -208,6 +224,7 @@ impl NameService {
             pool,
             seed_policy,
             streams: AtomicU64::new(0),
+            combiner: (acquire_mode == AcquireMode::Combining).then(Combiner::new),
         }
     }
 
@@ -246,6 +263,17 @@ impl NameService {
     ///
     /// As for [`acquire`](Self::acquire).
     pub fn acquire_name(&self) -> Result<Name, RenamingError> {
+        match &self.combiner {
+            Some(combiner) => combiner.acquire(self),
+            None => self.acquire_direct(),
+        }
+    }
+
+    /// The direct acquire path: check a worker out, drive one
+    /// acquisition, check it back in. This is the whole of
+    /// [`AcquireMode::Direct`] and the combining front-end's fallback
+    /// when every request slot is taken.
+    pub(crate) fn acquire_direct(&self) -> Result<Name, RenamingError> {
         let mut worker = self.checkout();
         let result = worker.session.acquire(&mut worker.rng);
         self.pool.checkin(worker);
@@ -340,8 +368,9 @@ impl NameService {
     /// checkout slow path, so the count is exact once the service is
     /// quiescent (e.g. after joining all acquiring threads — the
     /// conservation law `worker_count == pooled_workers +
-    /// retired_workers` the torture tests assert). While acquires are in
-    /// flight it is a snapshot, advisory like every concurrent counter.
+    /// retired_workers + resident_workers` the torture tests assert).
+    /// While acquires are in flight it is a snapshot, advisory like
+    /// every concurrent counter.
     pub fn worker_count(&self) -> usize {
         self.streams.load(Ordering::Acquire) as usize
     }
@@ -355,10 +384,20 @@ impl NameService {
     /// Workers the sharded pool has dropped because every slot was
     /// already occupied at check-in (always `0` for the mutex pool,
     /// which grows without bound instead). When the service is idle,
-    /// `worker_count() == pooled_workers() + retired_workers()` — the
-    /// no-leak conservation law the torture tests assert.
+    /// `worker_count() == pooled_workers() + retired_workers() +
+    /// resident_workers()` — the no-leak conservation law the torture
+    /// tests assert.
     pub fn retired_workers(&self) -> u64 {
         self.pool.retired()
+    }
+
+    /// Workers held resident by the combining front-end's combiner role
+    /// (`0` or `1`; always `0` in [`AcquireMode::Direct`]). The resident
+    /// session travels with the combiner lock instead of cycling through
+    /// the pool — see the worker conservation law on
+    /// [`retired_workers`](Self::retired_workers).
+    pub fn resident_workers(&self) -> usize {
+        self.combiner.as_ref().map_or(0, Combiner::resident_workers)
     }
 
     /// Which session-pool implementation this service checks workers
@@ -375,6 +414,29 @@ impl NameService {
     /// The shared backend.
     pub fn backend(&self) -> &Arc<dyn ServiceBackend> {
         &self.backend
+    }
+
+    /// Which acquire front-end this service routes through.
+    pub fn acquire_mode(&self) -> AcquireMode {
+        if self.combiner.is_some() {
+            AcquireMode::Combining
+        } else {
+            AcquireMode::Direct
+        }
+    }
+
+    /// Checks a worker out for the combining front-end. It usually stays
+    /// resident with the combiner role (the role's Acquire/Release lock
+    /// edges hand it between combiners); [`Self::checkin_worker`] takes
+    /// it back when two combiners raced and the resident seat is taken.
+    pub(crate) fn checkout_worker(&self) -> Box<Worker> {
+        self.checkout()
+    }
+
+    /// Returns a combining-front-end worker to the checkout pool when
+    /// the combiner role already holds a resident worker.
+    pub(crate) fn checkin_worker(&self, worker: Box<Worker>) {
+        self.pool.checkin(worker);
     }
 
     fn checkout(&self) -> Box<Worker> {
@@ -405,6 +467,7 @@ impl fmt::Debug for NameService {
             .field("workers", &self.worker_count())
             .field("pool", &self.pool_kind())
             .field("seed_policy", &self.seed_policy)
+            .field("acquire_mode", &self.acquire_mode())
             .finish()
     }
 }

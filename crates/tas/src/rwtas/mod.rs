@@ -29,7 +29,7 @@
 mod tournament;
 mod two_process;
 
-pub use tournament::TournamentTas;
+pub use tournament::{TournamentTas, EPOCH_LIMIT};
 pub use two_process::{Side, TwoProcessTas};
 
 #[cfg(test)]

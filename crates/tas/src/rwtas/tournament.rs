@@ -9,6 +9,14 @@ use rand::Rng;
 use crate::rwtas::{Side, TwoProcessTas};
 use crate::TasResult;
 
+/// The largest epoch a tournament will ever issue: `2^48 - 1` resets,
+/// after which [`TournamentTas::reset`] saturates and the object
+/// degrades to one-shot (never unsafe). The bound is shared with the
+/// 48-bit epoch field of [`crate::TicketTas`]'s packed grant counter
+/// and sits comfortably under the 56-bit register stamps of
+/// [`TwoProcessTas`].
+pub const EPOCH_LIMIT: u64 = (1 << 48) - 1;
+
 /// An `n`-process randomized test-and-set built as a binary tournament of
 /// [`TwoProcessTas`] objects — the construction the paper's references
 /// [6, 22] use to obtain `n`-process TAS from two-process leader election.
@@ -43,9 +51,12 @@ use crate::TasResult;
 /// then every path to the root still carries that winner's epoch-stamped
 /// marks, so no dead-epoch straggler can ever claim a second win.
 ///
-/// Epochs saturate at `u32::MAX` (after which the object degrades to
-/// one-shot rather than wrapping stamps) — four billion resets per slot
-/// is beyond any realistic workload.
+/// Epochs saturate at [`EPOCH_LIMIT`] (`2^48 - 1`), after which the
+/// object degrades to one-shot rather than wrapping stamps. The limit
+/// matches the 48-bit epoch field of [`crate::TicketTas`]'s packed
+/// grant counter and leaves headroom under the node registers' 56-bit
+/// stamps; an earlier layout saturated at `u32::MAX`, which sustained
+/// churn (~50M resets/s for half an hour) could actually reach.
 ///
 /// # Example
 ///
@@ -85,7 +96,20 @@ impl TournamentTas {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        Self::with_epoch(capacity, 0)
+    }
+
+    /// Creates a tournament whose epoch counter starts at `epoch` — a
+    /// slot that has already been reset `epoch` times. Regression tests
+    /// use this to exercise slots past the old `u32::MAX` saturation
+    /// bound without performing billions of resets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `epoch > EPOCH_LIMIT`.
+    pub fn with_epoch(capacity: usize, epoch: u64) -> Self {
         assert!(capacity > 0, "TournamentTas capacity must be positive");
+        assert!(epoch <= EPOCH_LIMIT, "epoch {epoch} exceeds EPOCH_LIMIT");
         let leaves = capacity.next_power_of_two();
         let node_count = if capacity == 1 { 0 } else { leaves };
         // Index 0 unused; nodes 1..leaves are internal.
@@ -94,7 +118,7 @@ impl TournamentTas {
             capacity,
             nodes,
             leaf_base: leaves,
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
             solo_set: AtomicU64::new(0),
         }
     }
@@ -124,10 +148,11 @@ impl TournamentTas {
     /// the same ownership rule [`crate::ResettableTas::reset`] states for
     /// anonymous slots.
     pub fn reset(&self) {
-        // Saturate instead of wrapping the 32-bit stamp space: a slot
-        // that somehow burns 2^32 epochs becomes one-shot, never unsafe.
+        // Saturate at the system-wide limit instead of wrapping into the
+        // register stamp space: a slot that somehow burns 2^48 epochs
+        // becomes one-shot, never unsafe.
         let _ = self.epoch.fetch_update(Ordering::AcqRel, Ordering::Acquire, |e| {
-            (e < u64::from(u32::MAX)).then_some(e + 1)
+            (e < EPOCH_LIMIT).then_some(e + 1)
         });
     }
 
@@ -393,6 +418,48 @@ mod tests {
         for pid in [0, 3, 7] {
             assert!(t.test_and_set_in_epoch(pid, old_epoch, &mut rng).lost());
         }
+    }
+
+    #[test]
+    fn slots_past_the_old_u32_epoch_bound_still_reset() {
+        // The pre-widening layout saturated its epoch at `u32::MAX`,
+        // silently degrading a slot that old to one-shot. With the
+        // 48-bit limit it must keep electing one winner per epoch.
+        let start = u64::from(u32::MAX) + 3;
+        let t = TournamentTas::with_epoch(8, start);
+        let mut rng = StdRng::seed_from_u64(12);
+        for round in 0..5 {
+            let wins = (0..8)
+                .filter(|&pid| t.test_and_set_with(pid, &mut rng).won())
+                .count();
+            assert_eq!(wins, 1, "round {round} past the old bound");
+            t.reset();
+        }
+        assert_eq!(t.epoch(), start + 5, "resets past u32::MAX advance");
+    }
+
+    #[test]
+    fn capacity_one_slots_reset_past_the_old_bound_too() {
+        let start = u64::from(u32::MAX) + 1;
+        let t = TournamentTas::with_epoch(1, start);
+        let mut rng = StdRng::seed_from_u64(13);
+        assert!(t.test_and_set_with(0, &mut rng).won());
+        t.reset();
+        assert!(!t.is_decided());
+        assert!(t.test_and_set_with(0, &mut rng).won());
+    }
+
+    #[test]
+    fn epochs_saturate_at_the_48_bit_limit() {
+        let t = TournamentTas::with_epoch(2, EPOCH_LIMIT);
+        t.reset();
+        assert_eq!(t.epoch(), EPOCH_LIMIT, "reset saturates, never wraps");
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_epoch_rejects_epochs_beyond_the_limit() {
+        TournamentTas::with_epoch(2, EPOCH_LIMIT + 1);
     }
 
     #[test]

@@ -50,11 +50,21 @@ const STATE_RACING_BASE: u64 = 4; // STATE_RACING_BASE + r  <=>  racing at round
 const DOOR_UP: u64 = 1;
 
 /// Bit position of the epoch stamp inside a packed register. The low
-/// half holds the protocol value, the high half the epoch the value was
-/// written in; `u32::MAX` epochs bound the slot's reset count (the
-/// tournament saturates there rather than wrapping).
-const STAMP_SHIFT: u32 = 32;
+/// byte holds the protocol value (states plus a round counter capped at
+/// [`MAX_ROUND`]), leaving 56 bits of stamp — far beyond the
+/// tournament's system-wide [`EPOCH_LIMIT`](super::EPOCH_LIMIT) of
+/// `2^48 - 1` resets, so a long-lived slot never saturates its stamps
+/// in practice (the old 32-bit layout degraded a slot to one-shot after
+/// `u32::MAX` resets).
+const STAMP_SHIFT: u32 = 8;
 const VALUE_MASK: u64 = (1 << STAMP_SHIFT) - 1;
+
+/// The largest racing round the 8-bit value field can encode
+/// (`VALUE_MASK - STATE_RACING_BASE` = 251). Reaching it requires ~251
+/// consecutive tied coin flips (probability ≈ 2⁻²⁵¹); at the cap the
+/// race resolves deterministically — `Right` concedes, `Left` wins — so
+/// safety never depends on rounds beyond the field width.
+const MAX_ROUND: u64 = VALUE_MASK - STATE_RACING_BASE;
 
 #[inline]
 fn racing(round: u64) -> u64 {
@@ -337,6 +347,20 @@ impl TwoProcessTas {
                                 let _ = self.store_state(me, epoch, STATE_QUIT);
                                 return TasResult::Lost;
                             }
+                            std::cmp::Ordering::Equal if my_round >= MAX_ROUND => {
+                                // Both contenders reached the last round
+                                // the 8-bit value field can encode
+                                // (probability ≈ 2⁻²⁵¹). Resolve the tie
+                                // deterministically by side: Right
+                                // concedes, Left waits to observe the
+                                // quit and win. One quitter, one winner
+                                // — the safety argument is unchanged.
+                                if me == Side::Right {
+                                    let _ = self.store_state(me, epoch, STATE_QUIT);
+                                    return TasResult::Lost;
+                                }
+                                Self::pause(&mut spins);
+                            }
                             std::cmp::Ordering::Equal => {
                                 if rng.gen::<bool>() {
                                     my_round += 1;
@@ -516,6 +540,52 @@ mod tests {
         // A newer epoch may overwrite an older one.
         assert!(TwoProcessTas::stamped_store(&cell, 6, DOOR_UP));
         assert_eq!(cell.load(Ordering::Relaxed), pack(6, DOOR_UP));
+    }
+
+    #[test]
+    fn stamps_survive_epochs_past_the_old_u32_bound() {
+        // The pre-widening layout packed the epoch into 32 bits, so a
+        // slot reset more than `u32::MAX` times silently degraded to
+        // one-shot. With the 56-bit stamp, epochs beyond that bound
+        // still race, decide, and reset like young ones.
+        let e = u64::from(u32::MAX) + 7;
+        let epoch_cell = AtomicU64::new(e);
+        let t = TwoProcessTas::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(t.test_and_set_in_epoch(Side::Left, e, &epoch_cell, &mut rng).won());
+        assert!(t.test_and_set_in_epoch(Side::Right, e, &epoch_cell, &mut rng).lost());
+        assert_eq!(t.winner_in_epoch(e), Some(Side::Left));
+        // The next epoch past the bound reads as pristine again.
+        epoch_cell.store(e + 1, Ordering::Release);
+        assert!(!t.is_decided_in_epoch(e + 1));
+        assert!(t.test_and_set_in_epoch(Side::Right, e + 1, &epoch_cell, &mut rng).won());
+    }
+
+    #[test]
+    fn round_cap_and_states_fit_the_value_field() {
+        // Every encodable protocol value must survive a pack/decode
+        // round-trip under the largest epoch the tournament will ever
+        // issue (the system-wide 2^48 - 1 reset limit).
+        let epoch = (1u64 << 48) - 1;
+        assert_eq!(racing(MAX_ROUND), VALUE_MASK, "cap uses the full field");
+        for value in [
+            STATE_NONE,
+            STATE_WON_FAST,
+            STATE_WON_SLOW,
+            STATE_QUIT,
+            racing(0),
+            racing(MAX_ROUND),
+        ] {
+            match decode(pack(epoch, value), epoch) {
+                Reg::Val(v) => assert_eq!(v, value),
+                Reg::Stale => panic!("same-epoch read decoded stale"),
+            }
+        }
+        // One epoch later the same raw word reads as the reset default.
+        match decode(pack(epoch - 1, STATE_WON_FAST), epoch) {
+            Reg::Val(v) => assert_eq!(v, 0),
+            Reg::Stale => panic!("older stamp must read as default"),
+        }
     }
 
     #[test]

@@ -4,15 +4,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{IdTas, ResettableIdTas, ResettableTas, Tas, TasResult};
 
-/// Bit position of the epoch half of the packed grant counter; the low
-/// half is the next ticket within that epoch.
-const EPOCH_SHIFT: u32 = 32;
+/// Bit position of the epoch field of the packed grant counter; the low
+/// 16 bits are the next ticket within that epoch, the high 48 the epoch
+/// itself. 48 epoch bits match the tournament's system-wide reset limit
+/// ([`crate::rwtas::EPOCH_LIMIT`]): under the old 32-bit split a slot
+/// reset more than `u32::MAX` times saturated and went one-shot.
+const EPOCH_SHIFT: u32 = 16;
 const TICKET_MASK: u64 = (1 << EPOCH_SHIFT) - 1;
 
 /// Once the ticket half has overshot capacity by this much, losing calls
 /// CAS the counter back down so a pathological loss storm can never
-/// carry into the epoch bits.
-const TICKET_CLAMP_SLACK: u64 = 1 << 20;
+/// carry into the epoch bits. Sized so `capacity + slack` stays far
+/// below the 16-bit ticket field (see the `with_capacity` assert).
+const TICKET_CLAMP_SLACK: u64 = 1 << 12;
 
 /// Adapts an [`IdTas`] (which needs caller identities, like the
 /// register-based [`crate::rwtas::TournamentTas`]) into an anonymous
@@ -63,9 +67,9 @@ const TICKET_CLAMP_SLACK: u64 = 1 << 20;
 pub struct TicketTas<T> {
     inner: T,
     capacity: usize,
-    /// Packed `(epoch << 32) | next_ticket`. One fetch-and-add draws a
+    /// Packed `(epoch << 16) | next_ticket`. One fetch-and-add draws a
     /// ticket *and* observes the epoch it belongs to; `reset` rewrites
-    /// the word to `(new_epoch << 32) | 0`, reopening the window.
+    /// the word to `(new_epoch << 16) | 0`, reopening the window.
     grants: AtomicU64,
 }
 
@@ -79,7 +83,17 @@ impl TicketTas<crate::rwtas::TournamentTas> {
 
 impl<T: IdTas> TicketTas<T> {
     /// Wraps an arbitrary [`IdTas`] accepting ids `0..capacity`.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity + TICKET_CLAMP_SLACK` would not fit the 16-bit
+    /// ticket field (capacities this large are far beyond any per-slot
+    /// tournament the workspace builds).
     pub fn with_capacity(inner: T, capacity: usize) -> Self {
+        assert!(
+            (capacity as u64) < TICKET_MASK - TICKET_CLAMP_SLACK,
+            "TicketTas capacity {capacity} overflows the 16-bit ticket field"
+        );
         Self {
             inner,
             capacity,
@@ -291,13 +305,39 @@ mod tests {
     }
 
     #[test]
+    fn slots_past_the_old_u32_epoch_bound_still_reissue_tickets() {
+        // Regression for the 32-bit epoch split: a slot reset more than
+        // `u32::MAX` times saturated and went one-shot. The widened
+        // 48-bit epoch field must keep cycling win/reset far past it.
+        let start = u64::from(u32::MAX) + 5;
+        let t = TicketTas::new(crate::rwtas::TournamentTas::with_epoch(2, start));
+        // First reset syncs the ticket window to the inherited epoch.
+        ResettableTas::reset(&t);
+        assert_eq!(t.ticket_epoch(), start + 1);
+        for round in 0..10 {
+            assert!(t.test_and_set().won(), "round {round} past the old bound");
+            assert!(t.test_and_set().lost(), "round {round}");
+            ResettableTas::reset(&t);
+        }
+        assert_eq!(t.ticket_epoch(), start + 11, "windows reissued past u32::MAX");
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_capacity_is_rejected() {
+        // The 16-bit ticket field cannot hold capacity + clamp slack.
+        TicketTas::with_capacity(SaturatingTas::new(), 1 << 16);
+    }
+
+    #[test]
     fn inner_access() {
         let t = TicketTas::new(TournamentTas::new(2));
         assert_eq!(t.inner().capacity(), 2);
     }
 
     /// A minimal epoch TAS whose epoch saturates at [`Self::CAP`] —
-    /// a stand-in for a tournament that burned all 2^32 of its resets.
+    /// a stand-in for a tournament that burned all 2^48 - 1 of its
+    /// resets (the system-wide `EPOCH_LIMIT`).
     struct SaturatingTas {
         epoch: AtomicU64,
         /// `0` = unset, `e + 1` = won in epoch `e`.

@@ -75,7 +75,7 @@ pub use renaming_tas as tas;
 pub mod prelude {
     pub use renaming_core::{Epsilon, Name, RenamingError};
     pub use renaming_service::{
-        Algorithm, NameGuard, NameService, NameServiceBuilder, Namespace, PoolKind, SeedPolicy,
-        TasBackend,
+        AcquireMode, Algorithm, NameGuard, NameService, NameServiceBuilder, Namespace, PoolKind,
+        SeedPolicy, TasBackend,
     };
 }

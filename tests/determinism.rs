@@ -147,9 +147,9 @@ fn experiment_fingerprint(threads: usize) -> (Vec<String>, Vec<u8>) {
     let mut harness = Harness::with_threads(true, 42, threads);
     // One execution-sweep experiment per shape: single-kind trials (e1),
     // the adaptive collection (e5), the sharded Monte-Carlo marking (e7),
-    // the numeric parallel map (e8), multi-kind trials (e10) and crash
-    // plans (e12).
-    let reports: Vec<String> = ["e1", "e5", "e7", "e8", "e10", "e12"]
+    // the numeric parallel map (e8), the sharded rate recurrence (e9),
+    // multi-kind trials (e10) and crash plans (e12).
+    let reports: Vec<String> = ["e1", "e5", "e7", "e8", "e9", "e10", "e12"]
         .iter()
         .map(|id| experiments::run(id, &mut harness))
         .collect();
