@@ -311,10 +311,13 @@ impl Combiner {
                 // path's pool checkout/checkin pair.
                 let result = worker.session.acquire(&mut worker.rng);
                 let wakeups = self.drain(&mut worker);
-                self.park_resident(worker);
+                let displaced = self.park_resident(worker);
                 self.core.lock.0.store(false, Ordering::Release);
                 for thread in wakeups {
                     thread.unpark();
+                }
+                if let Some(worker) = displaced {
+                    service.checkin_worker(worker);
                 }
                 return result;
             }
@@ -337,10 +340,16 @@ impl Combiner {
                 .is_ok()
             {
                 let wakeups = self.drain(&mut worker);
-                self.park_resident(worker);
+                // A combiner that took the role while we ran unlocked may
+                // have parked its own worker: keep that incumbent and
+                // send ours back to the pool.
+                let displaced = self.park_resident(worker);
                 self.core.lock.0.store(false, Ordering::Release);
                 for thread in wakeups {
                     thread.unpark();
+                }
+                if let Some(worker) = displaced {
+                    service.checkin_worker(worker);
                 }
             } else {
                 // Someone else holds the role (and serves the queue):
@@ -390,10 +399,13 @@ impl Combiner {
             {
                 let mut worker = self.take_resident(service);
                 let wakeups = self.drain(&mut worker);
-                self.park_resident(worker);
+                let displaced = self.park_resident(worker);
                 self.core.lock.0.store(false, Ordering::Release);
                 for thread in wakeups {
                     thread.unpark();
+                }
+                if let Some(worker) = displaced {
+                    service.checkin_worker(worker);
                 }
                 // Our own request was part of the drain (it was PENDING
                 // when we took the lock), so the next state load returns
@@ -439,11 +451,24 @@ impl Combiner {
 
     /// Stores the worker back as the resident session for the next
     /// combiner. Caller must hold the combiner lock.
-    fn park_resident(&self, worker: Box<Worker>) {
+    ///
+    /// Returns the worker unparked when the seat is already occupied:
+    /// on the contended shape, a thread that takes the role while we
+    /// run unlocked checks out — and parks — its own worker, and
+    /// overwriting it here would drop a session on the floor (breaking
+    /// the `worker_count == pooled + retired + resident` conservation
+    /// law). The caller routes the returned worker through
+    /// [`NameService::checkin_worker`] after releasing the lock.
+    #[must_use]
+    fn park_resident(&self, worker: Box<Worker>) -> Option<Box<Worker>> {
         // SAFETY: the combiner lock is held (see `Sync` for CombinerCore).
         let resident = unsafe { &mut *self.core.resident.get() };
+        if resident.is_some() {
+            return Some(worker);
+        }
         *resident = Some(worker);
         self.core.resident_count.store(1, Ordering::Relaxed);
+        None
     }
 
     /// How many worker sessions are held resident by the combiner role
@@ -536,6 +561,35 @@ mod tests {
     fn request_slots_own_their_cache_lines() {
         assert!(std::mem::align_of::<RequestSlot>() >= 128);
         assert!(std::mem::size_of::<RequestSlot>().is_multiple_of(128));
+    }
+
+    #[test]
+    fn park_resident_keeps_the_incumbent_and_displaces_the_loser() {
+        // Regression for the contended-shape race: thread A takes the
+        // resident worker, runs its acquire unlocked, re-wins the lock
+        // and parks — but meanwhile thread B became combiner, checked a
+        // fresh worker out of the pool, and parked *it* as resident.
+        // A's park must not overwrite (and thereby drop) B's worker; it
+        // gets its own back for a pool checkin instead.
+        let service = crate::NameService::builder(crate::Algorithm::Rebatching, 4)
+            .build()
+            .expect("build");
+        let combiner = Combiner::with_slots(4);
+        let first = service.checkout_worker();
+        let second = service.checkout_worker();
+        let created = service.worker_count();
+        assert!(combiner.park_resident(first).is_none(), "empty seat parks");
+        assert_eq!(combiner.resident_workers(), 1);
+        let displaced = combiner
+            .park_resident(second)
+            .expect("occupied seat must displace, not drop");
+        service.checkin_worker(displaced);
+        assert_eq!(combiner.resident_workers(), 1, "incumbent stays seated");
+        assert_eq!(
+            service.pooled_workers() + combiner.resident_workers(),
+            created,
+            "worker conservation holds after a displaced park"
+        );
     }
 
     #[test]

@@ -86,12 +86,16 @@ impl<T: IdTas> TicketTas<T> {
     ///
     /// # Panics
     ///
-    /// If `capacity + TICKET_CLAMP_SLACK` would not fit the 16-bit
+    /// If `capacity + 2 * TICKET_CLAMP_SLACK` would not fit the 16-bit
     /// ticket field (capacities this large are far beyond any per-slot
-    /// tournament the workspace builds).
+    /// tournament the workspace builds). The second slack's worth is
+    /// headroom *above* the clamp threshold: between a loser crossing
+    /// the threshold and its clamp CAS landing, other losers keep
+    /// fetch-adding, and those in-flight increments must never reach
+    /// the epoch bits.
     pub fn with_capacity(inner: T, capacity: usize) -> Self {
         assert!(
-            (capacity as u64) < TICKET_MASK - TICKET_CLAMP_SLACK,
+            (capacity as u64) + 2 * TICKET_CLAMP_SLACK <= TICKET_MASK,
             "TicketTas capacity {capacity} overflows the 16-bit ticket field"
         );
         Self {
@@ -327,6 +331,24 @@ mod tests {
     fn oversized_capacity_is_rejected() {
         // The 16-bit ticket field cannot hold capacity + clamp slack.
         TicketTas::with_capacity(SaturatingTas::new(), 1 << 16);
+    }
+
+    #[test]
+    fn max_capacity_leaves_clamp_headroom() {
+        // The largest accepted capacity still leaves a full clamp-slack
+        // of ticket values between the clamp threshold and the field
+        // limit, so losers fetch-adding while a clamp CAS is in flight
+        // cannot carry into the epoch bits.
+        let max = (TICKET_MASK - 2 * TICKET_CLAMP_SLACK) as usize;
+        let t = TicketTas::with_capacity(SaturatingTas::new(), max);
+        assert_eq!(t.tickets_issued(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn capacity_just_past_the_headroom_bound_is_rejected() {
+        let max = (TICKET_MASK - 2 * TICKET_CLAMP_SLACK) as usize;
+        TicketTas::with_capacity(SaturatingTas::new(), max + 1);
     }
 
     #[test]
