@@ -238,16 +238,13 @@ mod tests {
 
     #[test]
     fn e14_quick_passes() {
-        // Known-flaky on single-CPU boxes: e14's register-based TAS
-        // races need the OS to interleave spinning contenders, and with
-        // one hardware thread each wait-loop iteration can burn a full
-        // scheduling quantum, blowing the quick-mode budget (tracking
-        // note in ROADMAP.md, "Open items"). Gate at runtime rather
-        // than `#[ignore]` so multi-core CI keeps the coverage.
-        if std::thread::available_parallelism().map_or(1, |p| p.get()) < 2 {
-            eprintln!("skipping e14_quick_passes: 1-cpu box (known-flaky; see ROADMAP.md)");
-            return;
-        }
+        // Runs unconditionally, including on single-CPU boxes: the
+        // register-TAS wait loops now escalate to `yield_now` after a
+        // short spin phase (`TwoProcessTas::pause`), so contenders hand
+        // the processor over instead of burning whole scheduling quanta
+        // waiting for a descheduled peer. The old
+        // `available_parallelism() < 2` gate existed only to dodge that
+        // pathology.
         let mut h = Harness::new(true, 13);
         let report = e14_rw_tas(&mut h);
         assert!(report.contains("[PASS]"), "{report}");

@@ -8,9 +8,9 @@
 //! to amortize that work across many simultaneous requests. This module
 //! restructures service traffic into that shape:
 //!
-//! 1. each thread publishes its acquire request into a private,
-//!    cache-line-padded [`RequestSlot`] (the same `repr(align(128))`
-//!    discipline as [`crate::pool`]'s shards);
+//! 1. each waiter publishes its acquire request into a private,
+//!    cache-line-padded request slot (see [`crate::slots`] — the same
+//!    `repr(align(128))` discipline as [`crate::pool`]'s shards);
 //! 2. one thread CASes itself into the **combiner** role, drains every
 //!    pending slot, and satisfies the whole batch through a *single*
 //!    session — kept resident with the role, so combining acquires pay
@@ -18,12 +18,15 @@
 //!    ([`PooledSession::acquire_batch`](crate::PooledSession::acquire_batch)
 //!    rearms the machine between wins instead of rewinding it, so the
 //!    batch walks the namespace once instead of `count` times);
-//! 3. results are published back through the slots; non-combiners
-//!    spin briefly, then park, re-contending for the combiner lock on
-//!    every wake so a request can never strand.
+//! 3. results are published back through the slots and waiters are
+//!    notified through the unified wait/notify layer ([`crate::wait`]):
+//!    a sync waiter spins briefly, then parks; an async waiter
+//!    ([`crate::AsyncNameService`]) registers its task's waker instead.
+//!    The drain loop completes slots and notifies through one code path
+//!    regardless of kind.
 //!
 //! An *uncontended* acquirer short-circuits all three steps: it takes
-//! the combiner role directly, serves itself as a batch of one (which
+//! the combiner role outright, serves itself as a batch of one (which
 //! the rearm contract makes identical to the direct path), and drains
 //! any request that raced in behind it — so single-thread combining
 //! costs one CAS over the direct path instead of a full
@@ -32,24 +35,33 @@
 //! One thread serving the batch also means the contended TAS cache lines
 //! stay resident on one core for the whole sweep instead of bouncing
 //! between every acquirer — the flat-combining effect.
+//!
+//! # Liveness without timeouts
+//!
+//! A sync waiter re-contends for the combiner lock on every wake (and at
+//! worst every [`PARK_TIMEOUT`]), so a request published while no
+//! combiner was active can always serve itself. An async waiter has no
+//! timeout — its only wake is the notification — so the combiner's exit
+//! protocol closes the gap instead: after releasing the lock, the
+//! combiner re-reads the queued-request hint and re-elects itself if the
+//! hint is nonzero ([`Combiner::drain_and_release`]). All the accesses
+//! involved (the publisher's hint increment, its `PENDING` store, its
+//! failed lock CAS; the combiner's unlock and hint re-read) are SeqCst,
+//! so in the single total order either the publisher's CAS sees the lock
+//! free (and the publisher can become combiner itself), or the exiting
+//! combiner's re-read sees the increment and drains again. A published
+//! request can therefore never strand, waker or thread alike.
 
-use std::cell::{RefCell, UnsafeCell};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::Thread;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use renaming_core::{Name, RenamingError};
 
 use crate::service::{NameService, Worker};
-
-/// Request-slot states. A slot cycles `EMPTY → PENDING → (DONE|FAILED)
-/// → EMPTY`; only the owning thread moves it out of `EMPTY` and out of
-/// `DONE`/`FAILED`, only the combiner moves it out of `PENDING`.
-const EMPTY: u32 = 0;
-const PENDING: u32 = 1;
-const DONE: u32 = 2;
-const FAILED: u32 = 3;
+use crate::slots::{SlotPoll, SlotTable};
+use crate::wait::WaiterKind;
 
 /// Spins before a waiter starts yielding. Long enough to cover a small
 /// batch being served; short enough not to burn a core under
@@ -63,12 +75,14 @@ const SPIN_LIMIT: u32 = 256;
 /// round-trip.
 const YIELD_LIMIT: u32 = 16;
 
-/// Park timeout: waiters re-contend for the combiner lock at least this
-/// often. The publish/park handshake (SeqCst on both sides, see
-/// [`Combiner::drain`]) makes the combiner's unpark reliable, so this is
-/// not the primary wake — it only bounds the stall of a request that was
-/// published while *no* combiner was active (the waiter wakes, wins the
-/// free lock, and serves itself).
+/// Park timeout: sync waiters re-contend for the combiner lock at least
+/// this often. The publish/park handshake (SeqCst on both sides, see
+/// [`crate::wait`]) makes the combiner's unpark reliable, so this is not
+/// the primary wake — it is a belt-and-suspenders bound on the stall of
+/// a thread-waiter when no combiner is active (the waiter wakes, wins
+/// the free lock, and serves itself). Async waiters have no analogous
+/// timeout; they rely on the combiner's exit re-check (see the module
+/// docs on liveness).
 const PARK_TIMEOUT: Duration = Duration::from_micros(500);
 
 /// How many uncontended combiner turns keep the *short-critical-section*
@@ -87,45 +101,6 @@ const CONTENDED_WINDOW: u32 = 256;
 /// to a newcomer).
 const DRAIN_ROUNDS: usize = 4;
 
-/// Per-thread cap on remembered `(combiner id, slot lease)` pairs —
-/// the same bounded-TLS discipline as the pool's shard hints.
-const LEASES_PER_THREAD: usize = 64;
-
-/// One published acquire request. Padded to own its cache lines
-/// outright, so a waiter spinning on its own slot never false-shares
-/// with a neighbor's publication.
-#[repr(align(128))]
-struct RequestSlot {
-    /// Leased by a thread (see [`SlotLease`]): only the lease holder may
-    /// publish requests here.
-    claimed: AtomicBool,
-    state: AtomicU32,
-    /// The acquired name's value; meaningful only in state `DONE`.
-    result: AtomicUsize,
-    /// Set by the lease holder just before it parks, cleared on wake.
-    /// The combiner only touches the `waiter` mutex when this is set, so
-    /// publishing to a spinning/yielding waiter stays cheap. Flag and
-    /// state form a SeqCst store/load handshake on both sides, so a
-    /// publication can never race a park into a missed unpark.
-    parked: AtomicBool,
-    /// The lease holder's park/unpark handle. Written at lease claim,
-    /// cleared at lease drop; the combiner unparks through it after
-    /// publishing a result to a parked waiter.
-    waiter: Mutex<Option<Thread>>,
-}
-
-impl RequestSlot {
-    fn new() -> Self {
-        Self {
-            claimed: AtomicBool::new(false),
-            state: AtomicU32::new(EMPTY),
-            result: AtomicUsize::new(0),
-            parked: AtomicBool::new(false),
-            waiter: Mutex::new(None),
-        }
-    }
-}
-
 /// Whether this box has a single hardware thread — cached once. Waiters
 /// skip the spin phase there: with the combiner descheduled, a spin can
 /// only burn the quantum the combiner needs.
@@ -142,9 +117,11 @@ fn single_cpu() -> bool {
 #[repr(align(128))]
 struct CombinerLock(AtomicBool);
 
-/// The shared combining state: the slot array and the combiner role.
+/// The shared combining state: the slot table and the combiner role.
 struct CombinerCore {
-    slots: Box<[RequestSlot]>,
+    /// The request-slot table (see [`crate::slots`]), shared with thread
+    /// leases and in-flight async futures.
+    table: Arc<SlotTable>,
     lock: CombinerLock,
     /// The combiner's *resident* worker session. Whoever holds the
     /// combiner lock owns it: the session (and its TAS-line working
@@ -158,53 +135,30 @@ struct CombinerCore {
     /// accounting ([`NameService::resident_workers`]) reads it.
     resident_count: AtomicUsize,
     /// Published-request hint: incremented just before a waiter stores
-    /// `PENDING`, decremented by the combiner per served request. Lets
-    /// an uncontended combiner skip the full slot scan with one load; a
-    /// stale zero is benign (the waiter re-contends for the lock itself,
-    /// and the next combiner sees the count).
+    /// `PENDING` ([`Combiner::announce`]), decremented by the combiner
+    /// in one batched `fetch_sub` per drain round (covering every slot
+    /// that round adopted) and by a cancelled async future that
+    /// withdraws its unadopted request ([`Combiner::retract`]). Lets an
+    /// uncontended combiner skip the full slot scan with one load. At
+    /// any combiner's scan the hint is ≥ the number of slots the scan
+    /// adopts (each adopted slot's increment is program-ordered before
+    /// its `PENDING` store and consumed by exactly one later decrement)
+    /// — asserted in the drain loop. A stale zero is benign for sync
+    /// waiters (they re-contend for the lock themselves); for async
+    /// waiters the SeqCst exit re-check makes it impossible to miss
+    /// (see the module docs on liveness).
     queued: AtomicUsize,
     /// Contention decay counter (see [`CONTENDED_WINDOW`]): refreshed by
     /// every failed fast-path lock CAS, decremented per uncontended
     /// combiner turn.
     contended: AtomicU32,
-    /// This core's key into the per-thread lease table.
-    id: u64,
 }
 
-// SAFETY: `slots` and `lock` are atomics. `resident` is only accessed
-// by the thread currently holding `lock`, whose Acquire CAS / Release
-// store edges order every access to it across combiner handoffs.
+// SAFETY: `table`, counters and `lock` are atomics/shared-immutable.
+// `resident` is only accessed by the thread currently holding `lock`,
+// whose CAS / store edges order every access to it across combiner
+// handoffs.
 unsafe impl Sync for CombinerCore {}
-
-/// Identity source for combiner cores (monotonic, never reused), keying
-/// each thread's slot leases per service.
-fn next_combiner_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(0);
-    NEXT.fetch_add(1, Ordering::Relaxed)
-}
-
-/// A thread's exclusive claim on one request slot of one combiner.
-/// Dropping the lease (thread exit, or TLS eviction) releases the slot
-/// for other threads; the `Arc` keeps the slot array alive even if the
-/// service is gone.
-struct SlotLease {
-    core: Arc<CombinerCore>,
-    index: usize,
-}
-
-impl Drop for SlotLease {
-    fn drop(&mut self) {
-        let slot = &self.core.slots[self.index];
-        *slot.waiter.lock().expect("combiner waiter poisoned") = None;
-        // Release pairs with the Acquire CAS in `claim_slot`, ordering
-        // the waiter clear before the slot's next claim.
-        slot.claimed.store(false, Ordering::Release);
-    }
-}
-
-thread_local! {
-    static LEASES: RefCell<Vec<(u64, SlotLease)>> = const { RefCell::new(Vec::new()) };
-}
 
 /// The flat-combining front-end of one [`NameService`]. Constructed when
 /// the service is built with
@@ -216,7 +170,7 @@ pub(crate) struct Combiner {
 impl std::fmt::Debug for Combiner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Combiner")
-            .field("slots", &self.core.slots.len())
+            .field("slots", &self.core.table.len())
             .finish()
     }
 }
@@ -237,179 +191,123 @@ impl Combiner {
     /// rounded up to a power of two) — exposed for tests that need
     /// threads to outnumber slots deterministically.
     pub(crate) fn with_slots(slots: usize) -> Self {
-        let slots = slots.clamp(2, 256).next_power_of_two();
         Self {
             core: Arc::new(CombinerCore {
-                slots: (0..slots).map(|_| RequestSlot::new()).collect(),
+                table: SlotTable::new(slots),
                 lock: CombinerLock(AtomicBool::new(false)),
                 resident: UnsafeCell::new(None),
                 resident_count: AtomicUsize::new(0),
                 queued: AtomicUsize::new(0),
                 contended: AtomicU32::new(0),
-                id: next_combiner_id(),
             }),
         }
     }
 
-    /// The calling thread's leased slot index in this combiner, claiming
-    /// one on first touch. `None` when every slot is leased by another
-    /// live thread — the caller then falls back to the direct path.
-    fn leased_slot(&self) -> Option<usize> {
-        LEASES.with(|leases| {
-            let mut leases = leases.borrow_mut();
-            if let Some((_, lease)) = leases.iter().find(|(id, _)| *id == self.core.id) {
-                return Some(lease.index);
-            }
-            let index = self.claim_slot()?;
-            if leases.len() >= LEASES_PER_THREAD {
-                leases.remove(0); // evict (and thereby release) the oldest
-            }
-            leases.push((self.core.id, SlotLease { core: Arc::clone(&self.core), index }));
-            Some(index)
-        })
+    /// The shared request-slot table (the async facade publishes into
+    /// it directly).
+    pub(crate) fn table(&self) -> &Arc<SlotTable> {
+        &self.core.table
     }
 
-    fn claim_slot(&self) -> Option<usize> {
-        for (index, slot) in self.core.slots.iter().enumerate() {
-            if slot.claimed.load(Ordering::Relaxed) {
-                continue;
-            }
-            if slot
-                .claimed
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-            {
-                *slot.waiter.lock().expect("combiner waiter poisoned") =
-                    Some(std::thread::current());
-                return Some(index);
-            }
-        }
-        None
-    }
-
-    /// Acquires one name through the combining path.
-    pub(crate) fn acquire(&self, service: &NameService) -> Result<Name, RenamingError> {
-        // Fast path: an uncontended acquirer takes the combiner role
-        // outright, without publishing a request. Its own acquire is a
-        // batch of one — identical to the direct path by the rearm
-        // contract (`reset` + drive, pinned by the golden tests) — and
-        // any requests that raced in behind it are drained before the
-        // role is released, so taking the shortcut never strands a
-        // published request.
-        if self
-            .core
+    /// Tries to take the combiner role. SeqCst on both outcomes: the
+    /// *failure* is the publisher's half of the exit-re-check handshake
+    /// (a failed CAS that read `true` is ordered, in the single SeqCst
+    /// order, before the lock-holder's unlock — and therefore before its
+    /// queued re-read, which then cannot miss the publisher's
+    /// increment).
+    pub(crate) fn try_lock(&self) -> bool {
+        self.core
             .lock
             .0
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
-        {
-            let mut worker = self.take_resident(service);
-            let contended = self.core.contended.load(Ordering::Relaxed);
-            if contended == 0 {
-                // Quiet shape: hold the role across the acquire. One
-                // atomic RMW for the whole op — cheaper than the direct
-                // path's pool checkout/checkin pair.
-                let result = worker.session.acquire(&mut worker.rng);
-                let wakeups = self.drain(&mut worker);
-                let displaced = self.park_resident(worker);
-                self.core.lock.0.store(false, Ordering::Release);
-                for thread in wakeups {
-                    thread.unpark();
-                }
-                if let Some(worker) = displaced {
-                    service.checkin_worker(worker);
-                }
-                return result;
-            }
-            // Contended shape: release the role for the actual acquire,
-            // so the lock covers only the resident handoffs (~a dozen ns
-            // each) and a preemption almost never lands inside it — the
-            // pile-up trigger on oversubscribed boxes. A thread that
-            // takes the role meanwhile draws its own worker from the
-            // pool, which is the direct-mode norm. (We hold the lock, so
-            // the decay store cannot erase a concurrent refresh that
-            // matters: refreshers are about to fail this very CAS again.)
-            self.core.contended.store(contended - 1, Ordering::Relaxed);
-            self.core.lock.0.store(false, Ordering::Release);
-            let result = worker.session.acquire(&mut worker.rng);
-            if self
-                .core
-                .lock
-                .0
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-            {
-                let wakeups = self.drain(&mut worker);
-                // A combiner that took the role while we ran unlocked may
-                // have parked its own worker: keep that incumbent and
-                // send ours back to the pool.
-                let displaced = self.park_resident(worker);
-                self.core.lock.0.store(false, Ordering::Release);
-                for thread in wakeups {
-                    thread.unpark();
-                }
-                if let Some(worker) = displaced {
-                    service.checkin_worker(worker);
-                }
-            } else {
-                // Someone else holds the role (and serves the queue):
-                // our worker goes back to the pool instead.
-                service.checkin_worker(worker);
-            }
-            return result;
+    }
+
+    /// Releases the combiner role. SeqCst: must precede the caller's
+    /// queued re-read in the single total order (see `try_lock`).
+    fn unlock(&self) {
+        self.core.lock.0.store(false, Ordering::SeqCst);
+    }
+
+    /// Records a failed fast-path lock CAS, keeping the next
+    /// [`CONTENDED_WINDOW`] combiner turns in the short-critical-section
+    /// shape.
+    pub(crate) fn note_contention(&self) {
+        self.core.contended.store(CONTENDED_WINDOW, Ordering::Relaxed);
+    }
+
+    /// Bumps the published-request hint. Must be called *before* the
+    /// slot's `PENDING` store, and pairs with exactly one later
+    /// [`retract`](Self::retract) or combiner batch decrement.
+    pub(crate) fn announce(&self) {
+        self.core.queued.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Consumes one published-request credit for a request withdrawn by
+    /// a cancelled async future (the combiner consumes credits for the
+    /// slots it adopts itself, batched per drain round).
+    pub(crate) fn retract(&self) {
+        self.core.queued.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The current published-request hint (tests).
+    #[cfg(test)]
+    pub(crate) fn queued_hint(&self) -> usize {
+        self.core.queued.load(Ordering::SeqCst)
+    }
+
+    /// Releases the combiner role without draining (tests that stage a
+    /// lock holder).
+    #[cfg(test)]
+    pub(crate) fn unlock_for_test(&self) {
+        self.unlock();
+    }
+
+    /// Acquires one name through the combining path (sync waiters).
+    pub(crate) fn acquire(&self, service: &NameService) -> Result<Name, RenamingError> {
+        // Fast path: an uncontended acquirer takes the combiner role
+        // outright, without publishing a request.
+        if self.try_lock() {
+            return self.serve_locked(service);
         }
         // The lock CAS failed: remember the contention so the next
         // combiner turns keep their critical sections short.
-        self.core.contended.store(CONTENDED_WINDOW, Ordering::Relaxed);
-        let Some(index) = self.leased_slot() else {
+        self.note_contention();
+        let Some(index) = self.core.table.leased_index() else {
             // Every slot leased: serve this thread directly. Correctness
             // is unaffected (both paths drive the same machines against
             // the same slots); only the batching amortization is lost.
             return service.acquire_direct();
         };
-        let slot = &self.core.slots[index];
-        // Publish the request: bump the queued hint first (Release keeps
-        // it ordered before the state store, so a combiner that sees
-        // PENDING also sees the count), then flip the slot.
-        self.core.queued.fetch_add(1, Ordering::Release);
-        slot.state.store(PENDING, Ordering::Release);
+        let slot = self.core.table.slot(index);
+        // Publish the request: bump the queued hint first (program order
+        // on the SeqCst pair keeps it ordered before the state store, so
+        // a combiner that sees PENDING also sees the count), then flip
+        // the slot.
+        self.announce();
+        slot.publish();
 
         let mut spins = 0u32;
         loop {
-            match slot.state.load(Ordering::Acquire) {
-                DONE => {
-                    let value = slot.result.load(Ordering::Relaxed);
-                    slot.state.store(EMPTY, Ordering::Relaxed);
+            match slot.poll() {
+                SlotPoll::Done(value) => {
+                    slot.finish();
                     return Ok(Name::new(value));
                 }
-                FAILED => {
-                    slot.state.store(EMPTY, Ordering::Relaxed);
+                SlotPoll::Failed => {
+                    slot.finish();
                     return Err(RenamingError::NamespaceExhausted {
                         namespace: service.namespace_size(),
                     });
                 }
-                _ => {}
+                SlotPoll::Waiting => {}
             }
-            if self
-                .core
-                .lock
-                .0
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-            {
-                let mut worker = self.take_resident(service);
-                let wakeups = self.drain(&mut worker);
-                let displaced = self.park_resident(worker);
-                self.core.lock.0.store(false, Ordering::Release);
-                for thread in wakeups {
-                    thread.unpark();
-                }
-                if let Some(worker) = displaced {
-                    service.checkin_worker(worker);
-                }
+            if self.try_lock() {
+                let worker = self.take_resident(service);
+                self.drain_and_release(service, worker);
                 // Our own request was part of the drain (it was PENDING
-                // when we took the lock), so the next state load returns
-                // DONE or FAILED.
+                // when we took the lock), so the next poll returns a
+                // verdict.
                 continue;
             }
             spins += 1;
@@ -422,18 +320,102 @@ impl Combiner {
                 std::thread::yield_now();
             } else {
                 // Dekker handshake with the combiner's publication: we
-                // store the parked flag then re-load the state; the
+                // engage the wait cell then re-load the state; the
                 // combiner stores the state then loads the flag (all
                 // SeqCst). At least one side must see the other, so
                 // either we observe our result here and skip the park,
                 // or the combiner observes the flag and unparks us —
                 // a served request never sleeps out the full timeout.
-                slot.parked.store(true, Ordering::SeqCst);
-                if slot.state.load(Ordering::SeqCst) == PENDING {
+                slot.wait.engage();
+                if slot.in_flight() {
                     std::thread::park_timeout(PARK_TIMEOUT);
                 }
-                slot.parked.store(false, Ordering::Relaxed);
+                slot.wait.disengage();
             }
+        }
+    }
+
+    /// Serves the calling acquirer as the combiner. The caller holds
+    /// the combiner lock; it is released before returning. Shared by
+    /// the sync fast path and the async future's first poll.
+    pub(crate) fn serve_locked(&self, service: &NameService) -> Result<Name, RenamingError> {
+        let mut worker = self.take_resident(service);
+        let contended = self.core.contended.load(Ordering::Relaxed);
+        if contended == 0 {
+            // Quiet shape: hold the role across the acquire. One
+            // atomic RMW for the whole op — cheaper than the direct
+            // path's pool checkout/checkin pair.
+            let result = worker.session.acquire(&mut worker.rng);
+            self.drain_and_release(service, worker);
+            return result;
+        }
+        // Contended shape: release the role for the actual acquire,
+        // so the lock covers only the resident handoffs (~a dozen ns
+        // each) and a preemption almost never lands inside it — the
+        // pile-up trigger on oversubscribed boxes. A thread that
+        // takes the role meanwhile draws its own worker from the
+        // pool, which is the direct-mode norm. (We hold the lock, so
+        // the decay store cannot erase a concurrent refresh that
+        // matters: refreshers are about to fail this very CAS again.)
+        self.core.contended.store(contended - 1, Ordering::Relaxed);
+        self.unlock();
+        let result = worker.session.acquire(&mut worker.rng);
+        if self.try_lock() {
+            // A combiner that took the role while we ran unlocked may
+            // have parked its own worker: `drain_and_release` keeps that
+            // incumbent and sends ours back to the pool.
+            self.drain_and_release(service, worker);
+        } else {
+            // Someone else holds the role (and serves the queue, and
+            // re-checks the queue on its own exit): our worker goes back
+            // to the pool instead.
+            service.checkin_worker(worker);
+        }
+        result
+    }
+
+    /// Runs one full combiner turn for a waiter that just won the lock:
+    /// take the resident worker, drain, release. Used by the async
+    /// future's wait loop (the sync wait loop inlines the same calls).
+    pub(crate) fn drain_as_combiner(&self, service: &NameService) {
+        let worker = self.take_resident(service);
+        self.drain_and_release(service, worker);
+    }
+
+    /// The combiner's exit protocol: drain, park the worker, release
+    /// the lock, deliver notifications — then re-check the queued hint
+    /// and re-elect itself if requests were published while it was
+    /// letting go. The re-check is what guarantees liveness for async
+    /// waiters, which cannot rely on a park timeout (see the module
+    /// docs); it costs one SeqCst load on the uncontended path.
+    ///
+    /// The caller holds the combiner lock and passes in the worker it
+    /// drained with; the lock is released (and the worker parked or
+    /// returned to the pool) before returning.
+    fn drain_and_release(&self, service: &NameService, mut worker: Box<Worker>) {
+        loop {
+            let notifications = self.drain(&mut worker);
+            let displaced = self.park_resident(worker);
+            self.unlock();
+            // Notify after releasing the lock, keeping futex syscalls
+            // and executor wake-ups out of the critical section (a long
+            // combiner hold is what cascades into pile-ups on
+            // oversubscribed boxes).
+            for waiter in notifications {
+                waiter.notify();
+            }
+            if let Some(worker) = displaced {
+                service.checkin_worker(worker);
+            }
+            if self.core.queued.load(Ordering::SeqCst) == 0 || !self.try_lock() {
+                // Either nothing is published (every future publisher's
+                // failed lock CAS is SeqCst-after our unlock, so it can
+                // re-elect against a free lock or be seen by the *next*
+                // combiner's exit), or another combiner took over and
+                // inherits the re-check obligation.
+                return;
+            }
+            worker = self.take_resident(service);
         }
     }
 
@@ -479,33 +461,47 @@ impl Combiner {
     }
 
     /// Serves every pending request through the combiner's worker.
-    /// Caller holds the combiner lock; the returned threads must be
-    /// unparked *after* releasing it, keeping futex syscalls out of the
-    /// critical section (a long combiner hold is what cascades into
-    /// pile-ups on oversubscribed boxes).
-    fn drain(&self, worker: &mut Worker) -> Vec<Thread> {
+    /// Caller holds the combiner lock; the returned waiters must be
+    /// notified *after* releasing it (see [`Self::drain_and_release`]).
+    fn drain(&self, worker: &mut Worker) -> Vec<WaiterKind> {
         // `Vec::new` defers the allocation: a drain that finds nothing
         // pending (the uncontended fast path) costs only the hint load.
         let mut pending = Vec::new();
         let mut names: Vec<Name> = Vec::new();
-        let mut wakeups = Vec::new();
+        let mut notifications = Vec::new();
         for _ in 0..DRAIN_ROUNDS {
             // The queued hint spares the uncontended turn the full slot
             // scan. A stale zero skips a request that was *just*
-            // published — its owner is awake (it has not parked yet) and
-            // re-contends for the lock itself, so nothing strands.
-            if self.core.queued.load(Ordering::Acquire) == 0 {
-                return wakeups;
+            // published — benign: a sync owner is awake (it has not
+            // parked yet) and re-contends for the lock itself; an async
+            // owner is covered by the exit re-check in
+            // `drain_and_release`, which runs after this return.
+            if self.core.queued.load(Ordering::SeqCst) == 0 {
+                return notifications;
             }
             pending.clear();
-            for (index, slot) in self.core.slots.iter().enumerate() {
-                if slot.state.load(Ordering::Acquire) == PENDING {
+            for index in 0..self.core.table.len() {
+                // PENDING → SERVING: adopting the request here (rather
+                // than just reading PENDING) is what makes cancellation
+                // sound — a cancelled future's withdraw CAS and this
+                // adoption CAS target the same word, so exactly one of
+                // them wins and a name can never be published into a
+                // slot nobody owns.
+                if self.core.table.slot(index).take_for_service() {
                     pending.push(index);
                 }
             }
             if pending.is_empty() {
-                return wakeups;
+                return notifications;
             }
+            // Hint/slot-table consistency: every slot just adopted had
+            // announced itself (increment program-ordered before its
+            // PENDING store, consumed by no one else before our batched
+            // decrement below), so the hint cannot undercount the batch.
+            debug_assert!(
+                self.core.queued.load(Ordering::SeqCst) >= pending.len(),
+                "queued hint fell below the slots adopted by this scan"
+            );
             // One session serves the whole batch: the machine is rearmed
             // between wins, so its probe walk — and the TAS lines it
             // touches — is shared across every request in `pending`.
@@ -515,34 +511,21 @@ impl Combiner {
             let _ = worker
                 .session
                 .acquire_batch(pending.len(), &mut worker.rng, &mut names);
+            // Consume the adopted requests' hint credits in one batched
+            // decrement (a cancelled async future that withdrew *before*
+            // adoption consumed its own credit via `retract`).
+            self.core.queued.fetch_sub(pending.len(), Ordering::SeqCst);
             // Publish in slot order. On a partial batch (namespace
             // exhausted mid-sweep) the names that *were* won still go
             // out — they are real acquisitions — and the remainder fails.
-            self.core.queued.fetch_sub(pending.len(), Ordering::Relaxed);
             for (served, &index) in pending.iter().enumerate() {
-                let slot = &self.core.slots[index];
-                let state = match names.get(served) {
-                    Some(name) => {
-                        slot.result.store(name.value(), Ordering::Relaxed);
-                        DONE
-                    }
-                    None => FAILED,
-                };
-                // SeqCst store + SeqCst flag load is the combiner's half
-                // of the park handshake (see the waiter's park branch):
-                // a waiter that set its flag before this store is seen
-                // here and unparked; one that sets it after sees the
-                // state and never parks.
-                slot.state.store(state, Ordering::SeqCst);
-                if slot.parked.load(Ordering::SeqCst) {
-                    let waiter = slot.waiter.lock().expect("combiner waiter poisoned");
-                    if let Some(thread) = waiter.as_ref() {
-                        wakeups.push(thread.clone());
-                    }
+                let slot = self.core.table.slot(index);
+                if let Some(waiter) = slot.fill(names.get(served).map(|name| name.value())) {
+                    notifications.push(waiter);
                 }
             }
         }
-        wakeups
+        notifications
     }
 }
 
@@ -552,15 +535,9 @@ mod tests {
 
     #[test]
     fn slot_counts_clamp_and_round() {
-        assert_eq!(Combiner::with_slots(0).core.slots.len(), 2);
-        assert_eq!(Combiner::with_slots(3).core.slots.len(), 4);
-        assert_eq!(Combiner::with_slots(usize::MAX).core.slots.len(), 256);
-    }
-
-    #[test]
-    fn request_slots_own_their_cache_lines() {
-        assert!(std::mem::align_of::<RequestSlot>() >= 128);
-        assert!(std::mem::size_of::<RequestSlot>().is_multiple_of(128));
+        assert_eq!(Combiner::with_slots(0).core.table.len(), 2);
+        assert_eq!(Combiner::with_slots(3).core.table.len(), 4);
+        assert_eq!(Combiner::with_slots(usize::MAX).core.table.len(), 256);
     }
 
     #[test]
@@ -593,27 +570,33 @@ mod tests {
     }
 
     #[test]
-    fn leases_are_sticky_per_thread_and_released_on_exit() {
-        let combiner = Combiner::with_slots(4);
-        let a = combiner.leased_slot().expect("claim");
-        assert_eq!(combiner.leased_slot(), Some(a), "lease is sticky");
-        let core = Arc::clone(&combiner.core);
-        std::thread::spawn(move || {
-            let combiner = Combiner { core };
-            let b = combiner.leased_slot().expect("claim");
-            assert_ne!(a, b, "two live threads never share a slot");
-            b
-        })
-        .join()
-        .expect("join");
-        // The spawned thread exited: its lease dropped, its slot is free
-        // again (claimed flag cleared, waiter handle gone).
-        let freed = combiner
-            .core
-            .slots
-            .iter()
-            .filter(|slot| !slot.claimed.load(Ordering::Relaxed))
-            .count();
-        assert_eq!(freed, 3, "only the live thread's slot stays claimed");
+    fn exit_recheck_drains_requests_published_against_a_held_lock() {
+        // Stage the async liveness scenario deterministically on one
+        // thread: a request is published while the lock is held (so its
+        // publisher's lock CAS fails and it goes to sleep), and the
+        // combiner's own exit must serve it — no timeout, no third
+        // party.
+        let service = crate::NameService::builder(crate::Algorithm::Rebatching, 4)
+            .acquire_mode(crate::AcquireMode::Combining)
+            .build()
+            .expect("build");
+        let combiner = service.combiner().expect("combining mode");
+        assert!(combiner.try_lock(), "stage: we are the active combiner");
+        let index = combiner.table().claim().expect("free slot");
+        let slot = combiner.table().slot(index);
+        combiner.announce();
+        slot.publish();
+        assert_eq!(combiner.queued_hint(), 1);
+        // The combiner (us) exits: drain_and_release must notice the
+        // published request via the exit re-check and serve it.
+        combiner.drain_as_combiner(&service);
+        let SlotPoll::Done(value) = slot.poll() else {
+            panic!("exit re-check must have served the published request");
+        };
+        slot.finish();
+        combiner.table().release(index);
+        assert_eq!(combiner.queued_hint(), 0);
+        service.release_name(Name::new(value)).expect("release");
+        assert_eq!(service.held(), 0);
     }
 }

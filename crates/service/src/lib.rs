@@ -17,7 +17,14 @@
 //! * [`NameService`] — the thread-safe front-end, built via
 //!   [`NameServiceBuilder`]: internal per-worker session pooling and
 //!   [`renaming_core::FastRng`] streams, so callers just write
-//!   `let guard = service.acquire()?` from any thread.
+//!   `let guard = service.acquire()?` from any thread;
+//! * [`AsyncNameService`] — the same service behind `acquire().await`:
+//!   a hand-rolled [`Future`](std::future::Future) (std
+//!   `Waker`/`Poll` only, no external runtime) that publishes into the
+//!   combining front-end's request slots and suspends instead of
+//!   parking, with [`AsyncNameGuard`] for mode-independent RAII release
+//!   and a minimal executor in `exec` (doc-hidden test support) to
+//!   drive it.
 //!
 //! # Quickstart
 //!
@@ -47,13 +54,19 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod async_api;
 mod builder;
 mod combiner;
+#[doc(hidden)]
+pub mod exec;
 mod guard;
 mod namespace;
 mod pool;
 mod service;
+mod slots;
+mod wait;
 
+pub use async_api::{AcquireFuture, AsyncNameGuard, AsyncNameService};
 pub use builder::{AcquireMode, Algorithm, NameServiceBuilder, TasBackend};
 pub use guard::NameGuard;
 pub use namespace::{CountingSlot, Namespace, PooledSession, ServiceBackend, TournamentSlot};

@@ -425,6 +425,13 @@ impl NameService {
         }
     }
 
+    /// The combining front-end, if this service was built with
+    /// [`AcquireMode::Combining`] — the async facade publishes into its
+    /// slot table directly.
+    pub(crate) fn combiner(&self) -> Option<&Combiner> {
+        self.combiner.as_ref()
+    }
+
     /// Checks a worker out for the combining front-end. It usually stays
     /// resident with the combiner role (the role's Acquire/Release lock
     /// edges hand it between combiners); [`Self::checkin_worker`] takes

@@ -435,13 +435,28 @@ impl TwoProcessTas {
         self.is_decided_in_epoch(0)
     }
 
+    /// Iterations of pure spinning before [`Self::pause`] escalates to
+    /// yielding on every call. Short waits (the common case: the peer is
+    /// one store away from publishing) resolve without a syscall; past
+    /// the threshold the waiter is almost certainly waiting on a peer
+    /// that is *descheduled*, so burning the rest of a scheduling
+    /// quantum in `spin_loop` only delays that peer further — on a
+    /// single-CPU box it delays it by the whole quantum.
+    const SPIN_BEFORE_YIELD: u32 = 32;
+
+    /// Escalating backoff for the race's wait points: spin for the
+    /// first [`Self::SPIN_BEFORE_YIELD`] iterations, then yield the
+    /// processor on every iteration. The old shape (yield only every
+    /// 64th iteration) made progress on 1-cpu hosts depend on exhausting
+    /// 63 spins per quantum handoff, which is why `e14_quick_passes`
+    /// used to be gated on `available_parallelism() >= 2`.
     #[inline]
     fn pause(spins: &mut u32) {
-        *spins += 1;
-        if (*spins).is_multiple_of(64) {
-            std::thread::yield_now();
-        } else {
+        if *spins < Self::SPIN_BEFORE_YIELD {
+            *spins += 1;
             std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
         }
     }
 }

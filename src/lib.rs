@@ -7,7 +7,8 @@
 //!
 //! * [`service`] — the **recommended entry point**: a unified,
 //!   thread-safe acquire/release API (`NameService`, RAII `NameGuard`,
-//!   `Namespace` backends) over every algorithm below.
+//!   `Namespace` backends, and `AsyncNameService` for runtime-free
+//!   `acquire().await`) over every algorithm below.
 //! * [`tas`] — test-and-set substrate (hardware atomics and the
 //!   read/write-register tournament).
 //! * [`sim`] — asynchronous shared-memory execution model with adversarial
@@ -75,7 +76,7 @@ pub use renaming_tas as tas;
 pub mod prelude {
     pub use renaming_core::{Epsilon, Name, RenamingError};
     pub use renaming_service::{
-        AcquireMode, Algorithm, NameGuard, NameService, NameServiceBuilder, Namespace, PoolKind,
-        SeedPolicy, TasBackend,
+        AcquireFuture, AcquireMode, Algorithm, AsyncNameGuard, AsyncNameService, NameGuard,
+        NameService, NameServiceBuilder, Namespace, PoolKind, SeedPolicy, TasBackend,
     };
 }

@@ -1,0 +1,289 @@
+//! End-to-end tests for the async acquire facade (`AsyncNameService`).
+//!
+//! Four guarantees under test, mirroring `service_api.rs` on the sync
+//! side:
+//!
+//! 1. **Golden equality** — a single-task `acquire().await` sequence
+//!    under a fixed seed is byte-identical to the sync combining (and
+//!    hence direct) sequence, on every backend: the async facade is a
+//!    suspension shape, not a different algorithm.
+//! 2. **Executor churn** — OS threads each driving `block_on` acquires
+//!    hold unique names at every instant (live occupancy table) and
+//!    recycle them all, on all seven backends and on the register-based
+//!    tournament substrate.
+//! 3. **Cancellation safety** — futures dropped mid-flight (published
+//!    but unserved, or served but unconsumed) leak neither request
+//!    slots nor names: occupancy drains to zero and the worker
+//!    conservation law holds after a churn full of cancellations.
+//! 4. **Single-thread interleaving** — `drive_all` multiplexing a batch
+//!    of acquires on one thread resolves them all to distinct names
+//!    (the cooperative-scheduling shape, closest to the paper's
+//!    arbitrarily-delayed asynchronous processes).
+
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::task::Context;
+
+use loose_renaming::prelude::*;
+use loose_renaming::service::exec;
+
+/// Builds a combining-mode service wrapped for async acquisition.
+fn async_service(algorithm: Algorithm, capacity: usize, seed: u64) -> AsyncNameService {
+    AsyncNameService::new(
+        NameService::builder(algorithm, capacity)
+            .acquire_mode(AcquireMode::Combining)
+            .seed_policy(SeedPolicy::Fixed(seed))
+            .build()
+            .expect("build"),
+    )
+}
+
+/// The mixed hold/release single-thread workload from `service_api.rs`,
+/// driven synchronously through the requested acquire mode.
+fn sync_sequence(algorithm: Algorithm, seed: u64, n: usize, mode: AcquireMode) -> Vec<usize> {
+    let service = NameService::builder(algorithm, 32)
+        .acquire_mode(mode)
+        .seed_policy(SeedPolicy::Fixed(seed))
+        .build()
+        .expect("build");
+    let mut values = Vec::new();
+    let mut held = Vec::new();
+    for i in 0..n {
+        let guard = service.acquire().expect("within capacity");
+        values.push(guard.value());
+        if i % 3 == 0 {
+            held.push(guard);
+        } else {
+            drop(guard);
+        }
+        if held.len() > 8 {
+            held.clear();
+        }
+    }
+    values
+}
+
+/// The same workload, acquired through `block_on(service.acquire())`.
+fn async_sequence(algorithm: Algorithm, seed: u64, n: usize) -> Vec<usize> {
+    let service = async_service(algorithm, 32, seed);
+    let mut values = Vec::new();
+    let mut held = Vec::new();
+    for i in 0..n {
+        let guard = exec::block_on(service.acquire()).expect("within capacity");
+        values.push(guard.value());
+        if i % 3 == 0 {
+            held.push(guard);
+        } else {
+            drop(guard);
+        }
+        if held.len() > 8 {
+            held.clear();
+        }
+    }
+    drop(held);
+    assert_eq!(service.held(), 0, "dropping the held guards drains the service");
+    values
+}
+
+/// A single async task forms batches of one through the combiner's
+/// uncontended fast path, so its fixed-seed sequence must reproduce the
+/// sync combining sequence exactly — on every backend. (Sync combining
+/// is itself pinned against the PR 3 direct-mode goldens in
+/// `service_api.rs`, so this transitively pins async against those too.)
+#[test]
+fn async_fixed_seed_sequences_match_sync_combining_on_every_backend() {
+    for algorithm in Algorithm::all() {
+        assert_eq!(
+            async_sequence(algorithm, 0xD0C5, 24),
+            sync_sequence(algorithm, 0xD0C5, 24, AcquireMode::Combining),
+            "{algorithm:?}: acquire().await diverged from sync combining"
+        );
+    }
+}
+
+/// Belt and braces: pin the async Rebatching sequence against the PR 3
+/// golden values directly, not just transitively.
+#[test]
+fn async_rebatching_matches_the_pr3_golden_sequence() {
+    let golden = [
+        9, 20, 21, 13, 29, 19, 0, 19, 29, 30, 18, 14, 17, 6, 21, 1, 4, 24, 24, 26, 3, 26, 29, 8,
+    ];
+    assert_eq!(async_sequence(Algorithm::Rebatching, 0xD0C5, golden.len()), golden);
+}
+
+/// Async churn with a live occupancy table: `threads` OS threads each
+/// drive `iterations` `block_on` acquires, asserting cross-thread
+/// uniqueness at every hold, then full recycling and worker
+/// conservation once quiescent.
+fn async_churn(service: &AsyncNameService, threads: usize, iterations: usize) {
+    let occupied: Vec<AtomicBool> = (0..service.namespace_size())
+        .map(|_| AtomicBool::new(false))
+        .collect();
+    let total_acquires = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (service, occupied, total) = (service, &occupied, &total_acquires);
+            scope.spawn(move || {
+                for _ in 0..iterations {
+                    let guard = exec::block_on(service.acquire()).expect("within capacity");
+                    let slot = &occupied[guard.value()];
+                    assert!(
+                        !slot.swap(true, Ordering::SeqCst),
+                        "name {} handed to two concurrent holders",
+                        guard.value()
+                    );
+                    total.fetch_add(1, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    slot.store(false, Ordering::SeqCst);
+                    drop(guard);
+                }
+            });
+        }
+    });
+
+    assert_eq!(total_acquires.load(Ordering::Relaxed), threads * iterations);
+    assert_eq!(service.held(), 0, "all names recycled after the churn");
+    assert!(threads * iterations > 2 * service.namespace_size());
+    assert_eq!(
+        service.worker_count() as u64,
+        service.pooled_workers() as u64
+            + service.retired_workers()
+            + service.resident_workers() as u64,
+        "sessions leaked under async churn"
+    );
+}
+
+#[test]
+fn async_churn_is_unique_and_recycles_on_every_backend() {
+    for algorithm in Algorithm::all() {
+        // Linear scan's optimal namespace contends hardest; keep its
+        // churn shorter, like the sync suite does.
+        let iterations = if algorithm == Algorithm::LinearScan { 50 } else { 100 };
+        let threads = 8;
+        let service = async_service(algorithm, threads, 0xA57C);
+        async_churn(&service, threads, iterations);
+    }
+}
+
+/// The register-based tournament substrate behind `acquire().await`:
+/// batch sweeps drive epoch-stamped trees exactly like sync acquires.
+#[test]
+fn async_tournament_churn_is_unique_and_recycles() {
+    let threads = 4;
+    let service = AsyncNameService::new(
+        NameService::builder(Algorithm::Rebatching, threads)
+            .tas_backend(TasBackend::Tournament)
+            .acquire_mode(AcquireMode::Combining)
+            .seed_policy(SeedPolicy::Fixed(0xA57D))
+            .build()
+            .expect("build"),
+    );
+    let iterations = (10 * service.namespace_size()).div_ceil(threads) + 5;
+    async_churn(&service, threads, iterations);
+}
+
+/// Cancellation torture: threads interleave completed acquires with
+/// futures that are polled once — far enough to publish into a request
+/// slot under contention — and then dropped. Every cancellation must
+/// either withdraw the request or recycle the won name; afterwards the
+/// service must be fully drained, conservation must hold, and every
+/// request slot must be claimable again.
+#[test]
+fn cancellation_under_churn_leaks_neither_slots_nor_names() {
+    let threads = 8;
+    let service = async_service(Algorithm::FastAdaptive, threads, 0xCA9C);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let service = &service;
+            scope.spawn(move || {
+                for i in 0..150 {
+                    if (i + t) % 3 == 0 {
+                        // Poll once, then drop mid-flight. Under
+                        // contention the poll publishes and suspends;
+                        // uncontended it completes and the guard drop
+                        // releases — both paths must leave no residue.
+                        let mut future = std::pin::pin!(service.acquire());
+                        let waker = exec::test_waker();
+                        let mut cx = Context::from_waker(&waker);
+                        drop(future.as_mut().poll(&mut cx));
+                    } else {
+                        let guard =
+                            exec::block_on(service.acquire()).expect("within capacity");
+                        drop(guard);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(service.held(), 0, "cancellations leaked names");
+    assert_eq!(
+        service.worker_count() as u64,
+        service.pooled_workers() as u64
+            + service.retired_workers()
+            + service.resident_workers() as u64,
+        "cancellations leaked sessions"
+    );
+    // The slot table must be whole: a full capacity's worth of fresh
+    // concurrent acquires still succeeds.
+    let guards: Vec<AsyncNameGuard> = (0..service.capacity())
+        .map(|_| exec::block_on(service.acquire()).expect("slots all claimable"))
+        .collect();
+    drop(guards);
+    assert_eq!(service.held(), 0);
+}
+
+/// One thread, many in-flight acquires: `drive_all` interleaves the
+/// futures' polls, so suspended acquires coexist on a single stack —
+/// the executor analogue of the paper's arbitrarily-delayed processes.
+/// All resolved names must be distinct (they are held simultaneously).
+#[test]
+fn drive_all_resolves_a_full_batch_to_distinct_names() {
+    let batch = 16;
+    let service = async_service(Algorithm::Rebatching, batch, 0xD41E);
+    let guards: Vec<AsyncNameGuard> = exec::drive_all((0..batch).map(|_| service.acquire()))
+        .into_iter()
+        .map(|result| result.expect("within capacity"))
+        .collect();
+    let mut values: Vec<usize> = guards.iter().map(AsyncNameGuard::value).collect();
+    values.sort_unstable();
+    let before = values.len();
+    values.dedup();
+    assert_eq!(values.len(), before, "duplicate names within one batch");
+    assert_eq!(service.held(), batch);
+    drop(guards);
+    assert_eq!(service.held(), 0, "dropping every guard drains the service");
+}
+
+/// Guards are `'static` (they hold an `Arc` to the service): they can
+/// outlive the `AsyncNameService` handle and cross threads, and their
+/// release still lands.
+#[test]
+fn async_guards_outlive_the_handle_and_cross_threads() {
+    let service = async_service(Algorithm::Rebatching, 4, 0x0DD);
+    let probe = service.clone();
+    let guard = exec::block_on(service.acquire()).expect("name");
+    drop(service);
+    let value = guard.value();
+    std::thread::spawn(move || drop(guard)).join().expect("join");
+    assert_eq!(probe.held(), 0, "cross-thread drop released name {value}");
+}
+
+/// Exhaustion surfaces through the future as the same structured error
+/// the sync path returns — never a panic, and the namespace heals.
+#[test]
+fn async_exhaustion_is_an_error_not_a_panic() {
+    let service = async_service(Algorithm::Rebatching, 2, 0xEE);
+    let guards: Vec<AsyncNameGuard> = (0..service.namespace_size())
+        .map(|_| exec::block_on(service.acquire()).expect("namespace not yet full"))
+        .collect();
+    let err = exec::block_on(service.acquire()).unwrap_err();
+    assert_eq!(
+        err,
+        RenamingError::NamespaceExhausted {
+            namespace: service.namespace_size()
+        }
+    );
+    drop(guards);
+    assert!(exec::block_on(service.acquire()).is_ok());
+}
