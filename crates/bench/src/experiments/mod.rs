@@ -10,12 +10,14 @@ mod ablations;
 mod adaptive;
 mod comparisons;
 mod lower_bound;
+mod net_throughput;
 mod non_adaptive;
 mod robustness;
 mod service_throughput;
 mod throughput;
 
 pub use comparisons::layers_to_completion;
+pub use net_throughput::ARTIFACT_PATH as NET_ARTIFACT;
 pub use service_throughput::ARTIFACT_PATH as SERVICE_ARTIFACT;
 pub use throughput::{ARTIFACT_PATH as THROUGHPUT_ARTIFACT, SPEEDUP_TARGET};
 
@@ -25,8 +27,9 @@ use crate::Harness;
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentInfo {
     /// Registry id: the paper claims `e1` .. `e14`, the ablations `a1`
-    /// and `a2`, plus the tooling entries `throughput` (engine) and
-    /// `service_throughput` (the `NameService` front-end).
+    /// and `a2`, plus the tooling entries `throughput` (engine),
+    /// `service_throughput` (the `NameService` front-end) and
+    /// `net_throughput` (the wire-protocol server).
     pub id: &'static str,
     /// The paper claim being reproduced.
     pub claim: &'static str,
@@ -56,6 +59,7 @@ pub fn catalog() -> Vec<ExperimentInfo> {
         ExperimentInfo { id: "a2", claim: "Ablation: the t0 = 17 ln(8e/eps)/eps constant", runner: ablations::a2_t0 },
         ExperimentInfo { id: "throughput", claim: "Engine: monomorphic fast path >= 5x the seed engine's steps/sec (tooling)", runner: throughput::throughput },
         ExperimentInfo { id: "service_throughput", claim: "Service: NameService acquire/release ops/sec per backend, pool, TAS substrate, acquire mode (tooling)", runner: service_throughput::service_throughput },
+        ExperimentInfo { id: "net_throughput", claim: "Net: wire-protocol server ops/sec and p50/p99 latency per backend, connections, churn (tooling)", runner: net_throughput::net_throughput },
     ]
 }
 
@@ -95,7 +99,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
-        assert_eq!(before, 18);
+        assert_eq!(before, 19);
     }
 
     #[test]

@@ -34,6 +34,38 @@ pub enum RenamingError {
     },
 }
 
+impl RenamingError {
+    /// The variant's **stable numeric code**, the identity wire
+    /// protocols and logs key on.
+    ///
+    /// The contract: codes are assigned once and never renumbered or
+    /// reused; `0` is reserved for "no error" (wire-level `Ok`), and new
+    /// variants take the next free code. `renaming-net` maps its
+    /// response status bytes through this method, so the wire protocol
+    /// cannot drift from the library enum — a test asserts the mapping
+    /// is total (the `match` below has no wildcard arm, so adding a
+    /// variant without a code is a compile error).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use renaming_core::RenamingError;
+    ///
+    /// let err = RenamingError::NamespaceExhausted { namespace: 8 };
+    /// assert_eq!(err.code(), 4);
+    /// ```
+    pub const fn code(&self) -> u8 {
+        // Stable by fiat: NEVER renumber these. 0 is reserved for Ok.
+        match self {
+            RenamingError::InvalidEpsilon(_) => 1,
+            RenamingError::InvalidBeta(_) => 2,
+            RenamingError::TooFewProcesses { .. } => 3,
+            RenamingError::NamespaceExhausted { .. } => 4,
+            RenamingError::ReleaseUnsupported { .. } => 5,
+        }
+    }
+}
+
 impl fmt::Display for RenamingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -77,6 +109,30 @@ mod tests {
         assert!(RenamingError::ReleaseUnsupported { backend: "tournament" }
             .to_string()
             .contains("tournament"));
+    }
+
+    #[test]
+    fn codes_are_total_stable_and_distinct() {
+        // One constructed witness per variant. A new variant must be
+        // added here AND given a code in `code()` (whose `match` has no
+        // wildcard arm, so forgetting the code is a compile error; this
+        // list makes forgetting the test a test failure: the count below
+        // is the number of variants).
+        let witnesses = [
+            (RenamingError::InvalidEpsilon(-1.0), 1),
+            (RenamingError::InvalidBeta(0), 2),
+            (RenamingError::TooFewProcesses { n: 1, min: 2 }, 3),
+            (RenamingError::NamespaceExhausted { namespace: 8 }, 4),
+            (RenamingError::ReleaseUnsupported { backend: "x" }, 5),
+        ];
+        let mut seen = Vec::new();
+        for (err, expected) in witnesses {
+            assert_eq!(err.code(), expected, "{err}");
+            assert_ne!(err.code(), 0, "0 is reserved for Ok");
+            assert!(!seen.contains(&err.code()), "duplicate code for {err}");
+            seen.push(err.code());
+        }
+        assert_eq!(seen.len(), 5, "one witness per RenamingError variant");
     }
 
     #[test]

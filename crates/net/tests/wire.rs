@@ -1,0 +1,217 @@
+//! Over-the-wire integration tests: exhaustion as a graceful status,
+//! RAII release of a dropped connection's names, malformed traffic,
+//! pipelining, and graceful shutdown — all against a real server on a
+//! loopback ephemeral port.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use renaming_net::{
+    write_frame, Client, ClientError, NameServer, Request, ServerConfig, ServerHandle, Status,
+};
+use renaming_service::{AcquireMode, Algorithm, NameService, SeedPolicy};
+use serde_json::Value;
+
+/// Spawns a server over `algorithm` with the given capacity; combining
+/// mode and metrics on, handlers sized for the tests' connection counts.
+fn spawn_server(algorithm: Algorithm, capacity: usize) -> ServerHandle {
+    let service = NameService::builder(algorithm, capacity)
+        .acquire_mode(AcquireMode::Combining)
+        .metrics(true)
+        .seed_policy(SeedPolicy::Fixed(7))
+        .build()
+        .expect("service builds");
+    NameServer::bind("127.0.0.1:0", service, ServerConfig::default())
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server")
+}
+
+fn occupancy(stats: &Value) -> u64 {
+    stats
+        .get("service")
+        .and_then(|s| s.get("occupancy"))
+        .and_then(|o| o.as_u64())
+        .expect("stats carry service.occupancy")
+}
+
+/// Polls the server's stats until `predicate` holds or the deadline
+/// passes; returns the last stats seen.
+fn poll_stats(client: &mut Client, predicate: impl Fn(&Value) -> bool) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().expect("stats");
+        if predicate(&stats) || Instant::now() > deadline {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The ISSUE's wire exhaustion scenario: a capacity-1 strong namespace
+/// (LinearScan gives namespace exactly 1), a second client's acquire
+/// answers `Exhausted` — gracefully, the connection stays usable — and
+/// a release heals it.
+#[test]
+fn exhaustion_is_graceful_and_release_heals() {
+    let handle = spawn_server(Algorithm::LinearScan, 1);
+    let mut first = Client::connect(handle.addr()).expect("connect");
+    let mut second = Client::connect(handle.addr()).expect("connect");
+
+    let name = first.acquire().expect("the single name");
+    let error = second.acquire().expect_err("namespace is full");
+    assert!(error.is_exhausted(), "got {error}");
+    match &error {
+        ClientError::Server { status, detail } => {
+            assert_eq!(*status, Status::Exhausted);
+            assert!(!detail.is_empty(), "detail carries the library display");
+        }
+        other => panic!("expected a server status, got {other}"),
+    }
+
+    // The same connection is still good: release on the first client
+    // heals the namespace for the second.
+    first.release(name).expect("release");
+    let healed = second.acquire().expect("heals after release");
+    assert_eq!(healed, name, "strong namespace of size 1 has one name");
+    second.release(healed).expect("release");
+    handle.stop().expect("stop");
+}
+
+/// RAII over the wire: dropping a client connection without releasing
+/// returns every name it held — occupancy provably returns to zero in
+/// the `Stats` answer.
+#[test]
+fn dropped_connection_releases_its_names() {
+    let handle = spawn_server(Algorithm::Rebatching, 16);
+    let mut observer = Client::connect(handle.addr()).expect("connect");
+
+    let mut holder = Client::connect(handle.addr()).expect("connect");
+    let names = holder.acquire_many(3).expect("pipeline");
+    assert!(names.iter().all(Result::is_ok), "{names:?}");
+    let stats = poll_stats(&mut observer, |s| occupancy(s) == 3);
+    assert_eq!(occupancy(&stats), 3);
+
+    // Drop the holder without releasing anything.
+    drop(holder);
+    let stats = poll_stats(&mut observer, |s| occupancy(s) == 0);
+    assert_eq!(occupancy(&stats), 0, "dropped session must drain: {stats}");
+    handle.stop().expect("stop");
+}
+
+/// Pipelined acquires answer in request order, with per-request
+/// statuses: a capacity-2 namespace answering a depth-4 pipeline gives
+/// two names then two graceful `Exhausted`s.
+#[test]
+fn pipeline_mixes_names_and_exhaustion_in_order() {
+    let handle = spawn_server(Algorithm::LinearScan, 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let outcomes = client.acquire_many(4).expect("pipeline");
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes[0].is_ok() && outcomes[1].is_ok(), "{outcomes:?}");
+    for outcome in &outcomes[2..] {
+        assert!(
+            matches!(outcome, Err(e) if e.is_exhausted()),
+            "{outcomes:?}"
+        );
+    }
+    handle.stop().expect("stop");
+}
+
+/// Payload-level garbage (unknown opcode, wrong version) answers
+/// `Malformed` and keeps the connection usable; the `NotHeld` guard
+/// rejects releasing a name this connection never acquired.
+#[test]
+fn malformed_requests_and_foreign_releases_are_rejected_gracefully() {
+    let handle = spawn_server(Algorithm::Rebatching, 8);
+
+    // Speak framed garbage by hand: a well-framed payload with an
+    // unknown opcode...
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut raw = stream.try_clone().expect("clone");
+    write_frame(&mut raw, &[1u8, 0x7f]).expect("frame");
+    // ...and one with a bad version.
+    write_frame(&mut raw, &[9u8, 1u8]).expect("frame");
+    raw.flush().expect("flush");
+    let mut reader = std::io::BufReader::new(stream);
+    for _ in 0..2 {
+        let payload = renaming_net::read_frame(&mut reader, renaming_net::MAX_FRAME_LEN)
+            .expect("response")
+            .expect("still open");
+        match renaming_net::Response::decode(&payload).expect("decodes") {
+            renaming_net::Response::Error { status, .. } => assert_eq!(status, Status::Malformed),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+    // The connection survived: a real acquire still works on it.
+    write_frame(&mut raw, &Request::Acquire.encode()).expect("frame");
+    raw.flush().expect("flush");
+    let payload = renaming_net::read_frame(&mut reader, renaming_net::MAX_FRAME_LEN)
+        .expect("response")
+        .expect("still open");
+    assert!(matches!(
+        renaming_net::Response::decode(&payload).expect("decodes"),
+        renaming_net::Response::Name(_)
+    ));
+    drop(raw);
+    drop(reader);
+
+    // A separate client cannot release names it does not hold.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let name = client.acquire().expect("acquire");
+    let mut thief = Client::connect(handle.addr()).expect("connect");
+    match thief.release(name).expect_err("not this connection's name") {
+        ClientError::Server { status, .. } => assert_eq!(status, Status::NotHeld),
+        other => panic!("expected NotHeld, got {other}"),
+    }
+    client.release(name).expect("rightful owner releases");
+    handle.stop().expect("stop");
+}
+
+/// The `Stats` answer carries the documented shape: server counters,
+/// service occupancy/capacity/workers, and — with metrics on — both
+/// latency histograms with counts and interpolated quantiles.
+#[test]
+fn stats_shape_is_complete() {
+    let handle = spawn_server(Algorithm::FastAdaptive, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let name = client.acquire().expect("acquire");
+    client.release(name).expect("release");
+    let stats = client.stats().expect("stats");
+
+    let server = stats.get("server").expect("server section");
+    assert!(server.get("connections_live").and_then(Value::as_u64) >= Some(1));
+    assert!(server.get("requests").and_then(Value::as_u64) >= Some(3));
+    let service = stats.get("service").expect("service section");
+    assert_eq!(service.get("capacity").and_then(Value::as_u64), Some(8));
+    let workers = service.get("workers").expect("workers section");
+    for key in ["created", "pooled", "retired", "resident"] {
+        assert!(workers.get(key).and_then(Value::as_u64).is_some(), "{key}");
+    }
+    let latency = stats.get("latency").expect("latency section");
+    let acquire = latency.get("acquire").expect("acquire histogram");
+    assert!(acquire.get("count").and_then(Value::as_u64) >= Some(1));
+    assert!(acquire.get("p99_nanos").and_then(Value::as_f64).is_some());
+    let release = latency.get("release").expect("release histogram");
+    assert!(release.get("count").and_then(Value::as_u64) >= Some(1));
+    handle.stop().expect("stop");
+}
+
+/// A wire `Shutdown` is acknowledged, stops the accept loop, and joins
+/// every handler — `join` returning proves the graceful path, and a
+/// fresh connection afterwards must not be served.
+#[test]
+fn graceful_shutdown_over_the_wire() {
+    let handle = spawn_server(Algorithm::Rebatching, 8);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("acknowledged");
+    handle.join().expect("server stopped on its own");
+
+    // The listener is gone (or at best refuses service): a new client
+    // cannot complete a round trip.
+    if let Ok(mut late) = Client::connect(addr) {
+        assert!(late.acquire().is_err(), "no service after shutdown");
+    }
+}

@@ -153,7 +153,7 @@ enum FutureState {
 /// The future returned by [`AsyncNameService::acquire`].
 ///
 /// Hand-rolled over std's task machinery — no runtime dependency; any
-/// executor (including the minimal ones in the doc-hidden `exec`
+/// executor (including the minimal ones in the public [`crate::exec`]
 /// module) can drive
 /// it. Safe to drop at any point: a published-but-unserved request is
 /// withdrawn, an already-served one has its name recycled.

@@ -185,6 +185,7 @@ pub struct NameServiceBuilder {
     pool_kind: PoolKind,
     pool_shards: Option<usize>,
     acquire_mode: AcquireMode,
+    metrics: bool,
 }
 
 impl NameServiceBuilder {
@@ -202,6 +203,7 @@ impl NameServiceBuilder {
             pool_kind: PoolKind::Sharded,
             pool_shards: None,
             acquire_mode: AcquireMode::Direct,
+            metrics: false,
         }
     }
 
@@ -266,6 +268,17 @@ impl NameServiceBuilder {
         self
     }
 
+    /// Opt into latency metrics (default **off**): per-operation log₂
+    /// histograms over acquire and release, readable via
+    /// [`NameService::metrics`] and exported by the wire server's
+    /// `Stats` endpoint. Disabled, the hot paths read no clocks at all
+    /// — see [`crate::LatencyHistogram`].
+    #[must_use]
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// Builds the service.
     ///
     /// # Errors
@@ -280,13 +293,17 @@ impl NameServiceBuilder {
             TasBackend::Atomic => self.build_atomic()?,
             TasBackend::Tournament => self.build_tournament()?,
         };
-        Ok(NameService::with_backend_pool(
+        let mut service = NameService::with_backend_pool(
             backend,
             self.seed_policy,
             self.pool_kind,
             self.pool_shards,
             self.acquire_mode,
-        ))
+        );
+        if self.metrics {
+            service.enable_metrics();
+        }
+        Ok(service)
     }
 
     fn build_atomic(self) -> Result<Arc<dyn ServiceBackend>, RenamingError> {

@@ -1,21 +1,25 @@
-//! Minimal executors for driving the async facade — **test/example
-//! support**, not a runtime.
+//! Minimal executors for driving the async facade without a runtime.
 //!
 //! The workspace vendors no async runtime (and the facade needs none:
 //! [`AcquireFuture`](crate::AcquireFuture) is hand-rolled over std's
-//! `Waker`/`Poll` machinery), so examples, tests and experiment 18 need
-//! a way to drive futures to completion. This module provides the two
-//! smallest possible shapes:
+//! `Waker`/`Poll` machinery), so anything that holds an
+//! [`AsyncNameService`](crate::AsyncNameService) — examples, tests,
+//! experiment 18, and the `renaming-net` server's connection handlers —
+//! needs a way to drive futures to completion. This module provides the
+//! two smallest correct shapes:
 //!
-//! * [`block_on`] — park the calling thread until one future resolves;
+//! * [`block_on`] — park the calling thread until one future resolves:
+//!   the "one request at a time" connection-handler loop;
 //! * [`drive_all`] — round-robin a batch of futures on the calling
-//!   thread until all resolve, interleaving their polls (the
-//!   cooperative-scheduling shape that exercises suspension and
-//!   wake-ups without any thread machinery).
+//!   thread until all resolve, interleaving their polls: the pipelined
+//!   batch shape (a handler draining several in-flight acquires feeds
+//!   them to the combiner *together*, which is exactly what the
+//!   flat-combining front-end wants).
 //!
 //! Both are correct general-purpose executors for any `Future`, but
-//! deliberately minimal: no spawning, no timers, no IO. Production
-//! callers would drive the facade from their own runtime.
+//! deliberately minimal: no spawning, no timers, no IO. Callers with a
+//! real runtime should drive the facade from that instead; these exist
+//! so that *not having one* is never a blocker.
 
 use std::future::Future;
 use std::pin::Pin;
@@ -101,8 +105,31 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
 /// wake to one future; with batch sizes in the tens, precise routing
 /// would be all bookkeeping and no benefit), parking when a full pass
 /// leaves all of them pending. This interleaves many in-flight
-/// acquires on one thread — the executor-churn shape the async tests
-/// exercise.
+/// acquires on one thread — the pipelined connection-handler shape the
+/// `renaming-net` server runs per batch.
+///
+/// # Example
+///
+/// ```
+/// use renaming_service::{AcquireMode, Algorithm, AsyncNameService, NameService, exec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let service = AsyncNameService::new(
+///     NameService::builder(Algorithm::Rebatching, 8)
+///         .acquire_mode(AcquireMode::Combining)
+///         .build()?,
+/// );
+/// // Drive four in-flight acquires on this one thread; outputs come
+/// // back in input order.
+/// let guards: Vec<_> = exec::drive_all((0..4).map(|_| service.acquire()))
+///     .into_iter()
+///     .collect::<Result<_, _>>()?;
+/// assert_eq!(service.held(), 4);
+/// drop(guards);
+/// assert_eq!(service.held(), 0);
+/// # Ok(())
+/// # }
+/// ```
 pub fn drive_all<F: Future>(futures: impl IntoIterator<Item = F>) -> Vec<F::Output> {
     // One entry per future: the pinned future while live, its output
     // once resolved.

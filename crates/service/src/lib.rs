@@ -22,9 +22,16 @@
 //!   a hand-rolled [`Future`](std::future::Future) (std
 //!   `Waker`/`Poll` only, no external runtime) that publishes into the
 //!   combining front-end's request slots and suspends instead of
-//!   parking, with [`AsyncNameGuard`] for mode-independent RAII release
-//!   and a minimal executor in `exec` (doc-hidden test support) to
-//!   drive it.
+//!   parking, with [`AsyncNameGuard`] for mode-independent RAII release;
+//! * [`exec`] — minimal, documented executors ([`exec::block_on`],
+//!   [`exec::drive_all`]) for driving the async facade without any
+//!   runtime — what connection handlers (e.g. the `renaming-net`
+//!   server) and tests use;
+//! * [`ServiceMetrics`] — opt-in latency histograms
+//!   ([`NameServiceBuilder::metrics`]): fixed-bucket log₂
+//!   [`LatencyHistogram`]s with relaxed-counter increments, zero cost
+//!   when disabled, exported over the wire by `renaming-net`'s `Stats`
+//!   endpoint.
 //!
 //! # Quickstart
 //!
@@ -57,9 +64,9 @@
 mod async_api;
 mod builder;
 mod combiner;
-#[doc(hidden)]
 pub mod exec;
 mod guard;
+mod metrics;
 mod namespace;
 mod pool;
 mod service;
@@ -69,6 +76,9 @@ mod wait;
 pub use async_api::{AcquireFuture, AsyncNameGuard, AsyncNameService};
 pub use builder::{AcquireMode, Algorithm, NameServiceBuilder, TasBackend};
 pub use guard::NameGuard;
+pub use metrics::{
+    HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics, HISTOGRAM_BUCKETS,
+};
 pub use namespace::{CountingSlot, Namespace, PooledSession, ServiceBackend, TournamentSlot};
 pub use pool::PoolKind;
 pub use service::{NameService, SeedPolicy};

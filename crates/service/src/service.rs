@@ -12,6 +12,7 @@ use renaming_core::{FastRng, Name, RenamingError};
 use crate::builder::{AcquireMode, NameServiceBuilder};
 use crate::combiner::Combiner;
 use crate::guard::NameGuard;
+use crate::metrics::ServiceMetrics;
 use crate::namespace::{PooledSession, ServiceBackend};
 use crate::pool::{MutexPool, PoolKind, ShardedPool};
 use crate::Algorithm;
@@ -178,6 +179,11 @@ pub struct NameService {
     /// flat-combining front-end acquires route through. `None` is the
     /// direct path, byte-identical to pre-combining releases.
     combiner: Option<Combiner>,
+    /// `Some` iff the builder enabled latency metrics
+    /// ([`NameServiceBuilder::metrics`]). `None` — the default — is the
+    /// zero-cost disabled state: the hot paths pay one never-taken
+    /// branch and no clock reads.
+    metrics: Option<Arc<ServiceMetrics>>,
 }
 
 impl NameService {
@@ -225,7 +231,40 @@ impl NameService {
             seed_policy,
             streams: AtomicU64::new(0),
             combiner: (acquire_mode == AcquireMode::Combining).then(Combiner::new),
+            metrics: None,
         }
+    }
+
+    /// Attaches latency metrics — the builder's `metrics(true)` hook.
+    /// Takes `&mut self` so it can only happen before the service is
+    /// shared, keeping the enabled/disabled decision fixed for the
+    /// service's lifetime (the hot path reads it branch-predictably).
+    pub(crate) fn enable_metrics(&mut self) {
+        self.metrics = Some(Arc::new(ServiceMetrics::new()));
+    }
+
+    /// The latency metrics, if the service was built with
+    /// [`NameServiceBuilder::metrics`]`(true)` — `None` means disabled
+    /// (the default; the acquire/release paths then read no clocks).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use renaming_service::{Algorithm, NameService};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let service = NameService::builder(Algorithm::Rebatching, 8)
+    ///     .metrics(true)
+    ///     .build()?;
+    /// drop(service.acquire()?);
+    /// let snap = service.metrics().expect("enabled").snapshot();
+    /// assert_eq!(snap.acquire.count(), 1);
+    /// assert_eq!(snap.release.count(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn metrics(&self) -> Option<&Arc<ServiceMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// Acquires a unique name, returning an RAII guard that releases it
@@ -263,6 +302,18 @@ impl NameService {
     ///
     /// As for [`acquire`](Self::acquire).
     pub fn acquire_name(&self) -> Result<Name, RenamingError> {
+        // Metrics disabled (the default): one never-taken branch, no
+        // clock reads — the zero-cost-when-disabled discipline.
+        let Some(metrics) = &self.metrics else {
+            return self.acquire_name_inner();
+        };
+        let start = std::time::Instant::now();
+        let result = self.acquire_name_inner();
+        metrics.acquire.record(start.elapsed());
+        result
+    }
+
+    fn acquire_name_inner(&self) -> Result<Name, RenamingError> {
         match &self.combiner {
             Some(combiner) => combiner.acquire(self),
             None => self.acquire_direct(),
@@ -309,7 +360,13 @@ impl NameService {
     /// # }
     /// ```
     pub fn release_name(&self, name: Name) -> Result<(), RenamingError> {
-        self.backend.release(name)
+        let Some(metrics) = &self.metrics else {
+            return self.backend.release(name);
+        };
+        let start = std::time::Instant::now();
+        let result = self.backend.release(name);
+        metrics.release.record(start.elapsed());
+        result
     }
 
     /// The namespace size `m`: every acquired name is in `0..m`.

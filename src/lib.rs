@@ -9,6 +9,10 @@
 //!   thread-safe acquire/release API (`NameService`, RAII `NameGuard`,
 //!   `Namespace` backends, and `AsyncNameService` for runtime-free
 //!   `acquire().await`) over every algorithm below.
+//! * [`net`] — the wire front-end: a length-prefixed binary protocol,
+//!   the `renaming-server` TCP server (per-connection sessions, RAII
+//!   release over the wire, a JSON `Stats` endpoint), a blocking
+//!   client, and the `renaming-loadgen` load-generator library.
 //! * [`tas`] — test-and-set substrate (hardware atomics and the
 //!   read/write-register tournament).
 //! * [`sim`] — asynchronous shared-memory execution model with adversarial
@@ -23,7 +27,8 @@
 //!
 //! See the repository `README.md` for a quickstart, `ARCHITECTURE.md`
 //! for the layer-by-layer guide (TAS substrate → algorithms → two-tier
-//! engine → sweep harness → service), and `EXPERIMENTS.md` for the
+//! engine → sweep harness → service → network front-end), and
+//! `EXPERIMENTS.md` for the
 //! catalog of all reproduction experiments.
 //!
 //! # Example
@@ -67,6 +72,7 @@ pub use renaming_analysis as analysis;
 pub use renaming_baselines as baselines;
 pub use renaming_core as core;
 pub use renaming_lowerbound as lowerbound;
+pub use renaming_net as net;
 pub use renaming_service as service;
 pub use renaming_sim as sim;
 pub use renaming_tas as tas;
