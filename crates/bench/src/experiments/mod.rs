@@ -12,12 +12,14 @@ mod comparisons;
 mod lower_bound;
 mod net_throughput;
 mod non_adaptive;
+mod oracle_churn;
 mod robustness;
 mod service_throughput;
 mod throughput;
 
 pub use comparisons::layers_to_completion;
 pub use net_throughput::ARTIFACT_PATH as NET_ARTIFACT;
+pub use oracle_churn::ARTIFACT_PATH as ORACLE_ARTIFACT;
 pub use service_throughput::ARTIFACT_PATH as SERVICE_ARTIFACT;
 pub use throughput::{ARTIFACT_PATH as THROUGHPUT_ARTIFACT, SPEEDUP_TARGET};
 
@@ -28,8 +30,9 @@ use crate::Harness;
 pub struct ExperimentInfo {
     /// Registry id: the paper claims `e1` .. `e14`, the ablations `a1`
     /// and `a2`, plus the tooling entries `throughput` (engine),
-    /// `service_throughput` (the `NameService` front-end) and
-    /// `net_throughput` (the wire-protocol server).
+    /// `service_throughput` (the `NameService` front-end),
+    /// `net_throughput` (the wire-protocol server) and `oracle_churn`
+    /// (the concurrency oracle's history checker).
     pub id: &'static str,
     /// The paper claim being reproduced.
     pub claim: &'static str,
@@ -60,6 +63,7 @@ pub fn catalog() -> Vec<ExperimentInfo> {
         ExperimentInfo { id: "throughput", claim: "Engine: monomorphic fast path >= 5x the seed engine's steps/sec (tooling)", runner: throughput::throughput },
         ExperimentInfo { id: "service_throughput", claim: "Service: NameService acquire/release ops/sec per backend, pool, TAS substrate, acquire mode (tooling)", runner: service_throughput::service_throughput },
         ExperimentInfo { id: "net_throughput", claim: "Net: wire-protocol server ops/sec and p50/p99 latency per backend, connections, churn (tooling)", runner: net_throughput::net_throughput },
+        ExperimentInfo { id: "oracle_churn", claim: "Oracle: vector-clock history checking passes under churn for every backend and acquire mode (tooling)", runner: oracle_churn::oracle_churn },
     ]
 }
 
@@ -99,7 +103,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
-        assert_eq!(before, 19);
+        assert_eq!(before, 20);
     }
 
     #[test]

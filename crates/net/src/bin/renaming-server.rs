@@ -5,7 +5,7 @@
 //! renaming-server [--addr 127.0.0.1:0] [--addr-file PATH]
 //!                 [--algorithm rebatching] [--capacity 64]
 //!                 [--mode combining|direct] [--handlers 8]
-//!                 [--pipeline 32] [--no-metrics] [--seed N]
+//!                 [--pipeline 32] [--no-metrics] [--oracle] [--seed N]
 //! ```
 //!
 //! Binding `:0` picks an ephemeral port; the resolved address is
@@ -22,7 +22,7 @@ use renaming_service::{AcquireMode, Algorithm, NameService, SeedPolicy};
 
 const USAGE: &str = "usage: renaming-server [--addr HOST:PORT] [--addr-file PATH] \
 [--algorithm NAME] [--capacity N] [--mode combining|direct] [--handlers N] \
-[--pipeline N] [--no-metrics] [--seed N]
+[--pipeline N] [--no-metrics] [--oracle] [--seed N]
 algorithms: rebatching | adaptive | fast-adaptive | uniform | linear-scan | single-batch | doubling";
 
 fn parse_algorithm(name: &str) -> Option<Algorithm> {
@@ -46,6 +46,7 @@ struct Args {
     mode: AcquireMode,
     config: ServerConfig,
     metrics: bool,
+    oracle: bool,
     seed: Option<u64>,
 }
 
@@ -58,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         mode: AcquireMode::Combining,
         config: ServerConfig::default(),
         metrics: true,
+        oracle: false,
         seed: None,
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--pipeline: {e}"))?;
             }
             "--no-metrics" => args.metrics = false,
+            "--oracle" => args.oracle = true,
             "--seed" => {
                 args.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?);
             }
@@ -117,7 +120,8 @@ fn main() -> ExitCode {
     };
     let mut builder = NameService::builder(args.algorithm, args.capacity)
         .acquire_mode(args.mode)
-        .metrics(args.metrics);
+        .metrics(args.metrics)
+        .oracle(args.oracle);
     if let Some(seed) = args.seed {
         builder = builder.seed_policy(SeedPolicy::Fixed(seed));
     }

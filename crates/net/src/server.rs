@@ -258,6 +258,13 @@ impl ServerHandle {
         self.shared.addr
     }
 
+    /// The underlying [`NameService`], for out-of-band inspection while
+    /// the server runs — e.g. reading the concurrency oracle's verdict
+    /// after wire traffic has drained.
+    pub fn service(&self) -> &NameService {
+        self.shared.service.service()
+    }
+
     /// Signals shutdown and waits for every handler to finish (and thus
     /// every session to be released).
     ///
@@ -507,7 +514,9 @@ fn histogram_json(snapshot: &renaming_service::HistogramSnapshot) -> Value {
 
 /// The `Stats` response body: server counters, this connection's
 /// session, the service's occupancy and worker-conservation counters,
-/// and (when the service was built with metrics) both histograms.
+/// (when the service was built with metrics) both histograms, and
+/// (when it was built with the concurrency oracle) the oracle's
+/// event-counter summary.
 fn stats_json(shared: &Shared, session_held: usize) -> Value {
     let service = shared.service.service();
     let latency = match service.metrics() {
@@ -516,6 +525,24 @@ fn stats_json(shared: &Shared, session_held: usize) -> Value {
             json!({
                 "acquire": histogram_json(&snap.acquire),
                 "release": histogram_json(&snap.release),
+            })
+        }
+        None => Value::Null,
+    };
+    let oracle = match service.oracle() {
+        Some(oracle) => {
+            let summary = oracle.summary();
+            json!({
+                "participants": summary.participants,
+                "starts": summary.starts,
+                "wins": summary.wins,
+                "releases": summary.releases,
+                "guard_drops": summary.guard_drops,
+                "released": summary.released(),
+                "fails": summary.fails,
+                "live": summary.live,
+                "snapshots": summary.snapshots,
+                "record_violations": summary.record_violations,
             })
         }
         None => Value::Null,
@@ -544,5 +571,6 @@ fn stats_json(shared: &Shared, session_held: usize) -> Value {
             },
         },
         "latency": latency,
+        "oracle": oracle,
     })
 }

@@ -14,11 +14,14 @@ use renaming_service::{AcquireMode, Algorithm, NameService, SeedPolicy};
 use serde_json::Value;
 
 /// Spawns a server over `algorithm` with the given capacity; combining
-/// mode and metrics on, handlers sized for the tests' connection counts.
+/// mode, metrics, and the concurrency oracle on, handlers sized for
+/// the tests' connection counts. With the oracle enabled, every test
+/// in this file doubles as a wire-level history check.
 fn spawn_server(algorithm: Algorithm, capacity: usize) -> ServerHandle {
     let service = NameService::builder(algorithm, capacity)
         .acquire_mode(AcquireMode::Combining)
         .metrics(true)
+        .oracle(true)
         .seed_policy(SeedPolicy::Fixed(7))
         .build()
         .expect("service builds");
@@ -81,7 +84,8 @@ fn exhaustion_is_graceful_and_release_heals() {
 
 /// RAII over the wire: dropping a client connection without releasing
 /// returns every name it held — occupancy provably returns to zero in
-/// the `Stats` answer.
+/// the `Stats` answer, and the oracle's event counters agree that the
+/// forced drain released exactly the wins.
 #[test]
 fn dropped_connection_releases_its_names() {
     let handle = spawn_server(Algorithm::Rebatching, 16);
@@ -97,6 +101,14 @@ fn dropped_connection_releases_its_names() {
     drop(holder);
     let stats = poll_stats(&mut observer, |s| occupancy(s) == 0);
     assert_eq!(occupancy(&stats), 0, "dropped session must drain: {stats}");
+
+    // The session drain went through the recorded release path: the
+    // oracle saw three wins and three matching releases, none live.
+    let oracle = stats.get("oracle").expect("oracle section");
+    assert_eq!(oracle.get("wins").and_then(Value::as_u64), Some(3));
+    assert_eq!(oracle.get("released").and_then(Value::as_u64), Some(3));
+    assert_eq!(oracle.get("live").and_then(Value::as_u64), Some(0));
+    assert_eq!(oracle.get("record_violations").and_then(Value::as_u64), Some(0));
     handle.stop().expect("stop");
 }
 
@@ -195,6 +207,81 @@ fn stats_shape_is_complete() {
     assert!(acquire.get("p99_nanos").and_then(Value::as_f64).is_some());
     let release = latency.get("release").expect("release histogram");
     assert!(release.get("count").and_then(Value::as_u64) >= Some(1));
+    let oracle = stats.get("oracle").expect("oracle section");
+    for key in [
+        "participants",
+        "starts",
+        "wins",
+        "releases",
+        "guard_drops",
+        "released",
+        "fails",
+        "live",
+        "snapshots",
+        "record_violations",
+    ] {
+        assert!(oracle.get(key).and_then(Value::as_u64).is_some(), "{key}");
+    }
+    assert!(oracle.get("wins").and_then(Value::as_u64) >= Some(1));
+    handle.stop().expect("stop");
+}
+
+/// The ISSUE's wire-level oracle scenario: several concurrent clients
+/// churn acquire/release over loopback against an oracle-instrumented
+/// service. After the traffic drains, the `Stats` oracle summary
+/// accounts for every operation and the full history verdict — read
+/// out of band through [`ServerHandle::service`] — is clean and
+/// drained: no overlapping holds, bounds respected, workers conserved.
+#[test]
+fn wire_churn_yields_a_clean_oracle_verdict() {
+    let handle = spawn_server(Algorithm::Rebatching, 16);
+    let clients = 4usize;
+    let rounds = 40usize;
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut client = Client::connect(handle.addr()).expect("connect");
+                for round in 0..rounds {
+                    if round % 4 == 3 {
+                        // Every fourth round pipelines a pair, so the
+                        // combiner sees real batches over the wire.
+                        let names = client.acquire_many(2).expect("pipeline");
+                        for name in names {
+                            client.release(name.expect("within capacity")).expect("release");
+                        }
+                    } else {
+                        let name = client.acquire().expect("within capacity");
+                        client.release(name).expect("release");
+                    }
+                }
+            });
+        }
+    });
+
+    let expected_wins = (clients * (rounds + rounds / 4)) as u64;
+    let mut observer = Client::connect(handle.addr()).expect("connect");
+    let stats = poll_stats(&mut observer, |s| occupancy(s) == 0);
+    assert_eq!(occupancy(&stats), 0, "churn must drain: {stats}");
+    let oracle = stats.get("oracle").expect("oracle section");
+    assert_eq!(oracle.get("wins").and_then(Value::as_u64), Some(expected_wins));
+    assert_eq!(oracle.get("released").and_then(Value::as_u64), Some(expected_wins));
+    assert_eq!(oracle.get("live").and_then(Value::as_u64), Some(0));
+    assert_eq!(oracle.get("record_violations").and_then(Value::as_u64), Some(0));
+
+    // Out-of-band verdict: replay the full recorded history.
+    let verdict = handle
+        .service()
+        .oracle_verdict()
+        .expect("server built with the oracle");
+    assert!(
+        verdict.is_clean(),
+        "wire churn must check out: {:?}",
+        verdict.history.violations
+    );
+    assert!(verdict.drained(), "nothing held after the churn");
+    assert!(verdict.history.complete, "history replays to completion");
+    assert_eq!(verdict.history.wins, expected_wins);
+    assert_eq!(verdict.history.released(), expected_wins);
     handle.stop().expect("stop");
 }
 

@@ -53,6 +53,21 @@ use renaming_core::{Name, RenamingError};
 use crate::service::NameService;
 use crate::slots::SlotPoll;
 
+/// Records an acquire outcome with the service's oracle (no-op when
+/// disabled) and passes the result through. A future cancelled before
+/// any outcome — withdraw won the race — records a start with no
+/// outcome, which the checker tolerates: starts create no holds.
+fn note_outcome(
+    service: &NameService,
+    result: Result<Name, RenamingError>,
+) -> Result<Name, RenamingError> {
+    match &result {
+        Ok(name) => service.oracle_note_win(*name),
+        Err(_) => service.oracle_note_fail(),
+    }
+    result
+}
+
 /// A [`NameService`] driven through `async` acquires.
 ///
 /// Wraps the service in an [`Arc`] (so guards can be `'static` and
@@ -170,25 +185,31 @@ impl Future for AcquireFuture<'_> {
         let this = self.get_mut();
         let service = this.service.service();
         if let FutureState::Start = this.state {
+            // The oracle's AcquireStart is recorded here, on first
+            // poll: the request logically enters the service now.
+            service.oracle_note_start();
             let Some(combiner) = service.combiner() else {
                 // Direct mode: no slots to publish into; the direct
                 // path is synchronous and fast, complete immediately.
                 this.state = FutureState::Done;
-                return Poll::Ready(service.acquire_direct().map(|name| this.service.guard(name)));
+                return Poll::Ready(note_outcome(service, service.acquire_direct())
+                    .map(|name| this.service.guard(name)));
             };
             if combiner.try_lock() {
                 // Uncontended: serve ourselves as a batch of one —
                 // byte-identical to the sync combining (and direct)
                 // fast path, which is what pins the async goldens.
                 this.state = FutureState::Done;
-                return Poll::Ready(combiner.serve_locked(service).map(|name| this.service.guard(name)));
+                return Poll::Ready(note_outcome(service, combiner.serve_locked(service))
+                    .map(|name| this.service.guard(name)));
             }
             combiner.note_contention();
             let Some(index) = combiner.table().claim() else {
                 // Every slot taken: fall back to the direct path, as
                 // the sync waiter does.
                 this.state = FutureState::Done;
-                return Poll::Ready(service.acquire_direct().map(|name| this.service.guard(name)));
+                return Poll::Ready(note_outcome(service, service.acquire_direct())
+                    .map(|name| this.service.guard(name)));
             };
             // Register the waker *before* publishing so there is no
             // window in which a combiner could fill the slot and find
@@ -210,12 +231,16 @@ impl Future for AcquireFuture<'_> {
                     slot.finish();
                     combiner.table().release(index);
                     this.state = FutureState::Done;
+                    // The requester — not the combiner that filled the
+                    // slot — records the win, as on the sync path.
+                    service.oracle_note_win(Name::new(value));
                     return Poll::Ready(Ok(this.service.guard(Name::new(value))));
                 }
                 SlotPoll::Failed => {
                     slot.finish();
                     combiner.table().release(index);
                     this.state = FutureState::Done;
+                    service.oracle_note_fail();
                     return Poll::Ready(Err(RenamingError::NamespaceExhausted {
                         namespace: service.namespace_size(),
                     }));
@@ -268,11 +293,17 @@ impl Drop for AcquireFuture<'_> {
                 match slot.poll() {
                     SlotPoll::Done(value) => {
                         slot.finish();
+                        // Record the adopted win before releasing it so
+                        // the oracle history pairs the two events; the
+                        // cancelled requester is the participant for
+                        // both, mirroring a dropped sync guard.
+                        service.oracle_note_win(Name::new(value));
                         let _ = service.release_name(Name::new(value));
                         break;
                     }
                     SlotPoll::Failed => {
                         slot.finish();
+                        service.oracle_note_fail();
                         break;
                     }
                     SlotPoll::Waiting => std::thread::yield_now(),
@@ -382,8 +413,9 @@ impl Drop for AsyncNameGuard {
         if self.armed {
             // A custom one-shot backend would reject the release; leaking
             // the slot is the documented drop behaviour there. Built-in
-            // backends always accept.
-            let _ = self.service.release_name(self.name);
+            // backends always accept. The guard-drop entry point lets
+            // the oracle record this as a `GuardDrop` event.
+            let _ = self.service.release_name_from_guard(self.name);
         }
     }
 }

@@ -186,6 +186,7 @@ pub struct NameServiceBuilder {
     pool_shards: Option<usize>,
     acquire_mode: AcquireMode,
     metrics: bool,
+    oracle: bool,
 }
 
 impl NameServiceBuilder {
@@ -204,6 +205,7 @@ impl NameServiceBuilder {
             pool_shards: None,
             acquire_mode: AcquireMode::Direct,
             metrics: false,
+            oracle: false,
         }
     }
 
@@ -279,6 +281,20 @@ impl NameServiceBuilder {
         self
     }
 
+    /// Opt into the concurrency oracle (default **off**): vector-clock
+    /// event recording on every acquire/release plus a post-run history
+    /// checker proving the paper's safety claims over the actual
+    /// execution — no overlapping holds of one name, the namespace
+    /// bound respected at every cut, every win released or held at
+    /// exit. Read the verdict via [`NameService::oracle_verdict`] (or
+    /// the raw recorder via [`NameService::oracle`]). Disabled, the hot
+    /// paths record nothing — same zero-cost discipline as `metrics`.
+    #[must_use]
+    pub fn oracle(mut self, enabled: bool) -> Self {
+        self.oracle = enabled;
+        self
+    }
+
     /// Builds the service.
     ///
     /// # Errors
@@ -302,6 +318,9 @@ impl NameServiceBuilder {
         );
         if self.metrics {
             service.enable_metrics();
+        }
+        if self.oracle {
+            service.enable_oracle();
         }
         Ok(service)
     }

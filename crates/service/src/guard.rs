@@ -139,8 +139,10 @@ impl Drop for NameGuard<'_> {
         if self.armed {
             // A custom one-shot backend would reject the release; leaking
             // the slot is the documented drop behaviour there. Built-in
-            // backends always accept.
-            let _ = self.service.release_name(self.name);
+            // backends always accept. The guard-drop entry point lets the
+            // oracle record this as a `GuardDrop` rather than an explicit
+            // release.
+            let _ = self.service.release_name_from_guard(self.name);
         }
     }
 }

@@ -68,6 +68,7 @@ pub mod exec;
 mod guard;
 mod metrics;
 mod namespace;
+mod oracle;
 mod pool;
 mod service;
 mod slots;
@@ -80,9 +81,17 @@ pub use metrics::{
     HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics, HISTOGRAM_BUCKETS,
 };
 pub use namespace::{CountingSlot, Namespace, PooledSession, ServiceBackend, TournamentSlot};
+pub use oracle::OracleVerdict;
 pub use pool::PoolKind;
 pub use service::{NameService, SeedPolicy};
 
 // Re-export the vocabulary types a service caller needs, so depending on
 // `renaming-core` directly is optional.
 pub use renaming_core::{Epsilon, Name, RenamingError};
+
+// Re-export the oracle's own vocabulary so callers consuming a verdict
+// (tests, the wire server's `Stats`) need not depend on
+// `renaming-oracle` directly.
+pub use renaming_oracle::{
+    History, HistoryReport, Oracle, OracleSummary, SnapshotReport, Violation, WorkerCounts,
+};

@@ -9,10 +9,13 @@ use rand::SeedableRng;
 
 use renaming_core::{FastRng, Name, RenamingError};
 
+use renaming_oracle::Oracle;
+
 use crate::builder::{AcquireMode, NameServiceBuilder};
 use crate::combiner::Combiner;
 use crate::guard::NameGuard;
 use crate::metrics::ServiceMetrics;
+use crate::oracle::OracleVerdict;
 use crate::namespace::{PooledSession, ServiceBackend};
 use crate::pool::{MutexPool, PoolKind, ShardedPool};
 use crate::Algorithm;
@@ -184,6 +187,10 @@ pub struct NameService {
     /// zero-cost disabled state: the hot paths pay one never-taken
     /// branch and no clock reads.
     metrics: Option<Arc<ServiceMetrics>>,
+    /// `Some` iff the builder enabled the concurrency oracle
+    /// ([`NameServiceBuilder::oracle`]). Same zero-cost-when-off
+    /// discipline as `metrics`: disabled is one never-taken branch.
+    oracle: Option<Arc<Oracle>>,
 }
 
 impl NameService {
@@ -232,6 +239,7 @@ impl NameService {
             streams: AtomicU64::new(0),
             combiner: (acquire_mode == AcquireMode::Combining).then(Combiner::new),
             metrics: None,
+            oracle: None,
         }
     }
 
@@ -265,6 +273,62 @@ impl NameService {
     /// ```
     pub fn metrics(&self) -> Option<&Arc<ServiceMetrics>> {
         self.metrics.as_ref()
+    }
+
+    /// Attaches the concurrency oracle — the builder's `oracle(true)`
+    /// hook, public so [`with_backend`](Self::with_backend) escape-hatch
+    /// services (custom backends the builder enums do not cover) can be
+    /// instrumented too. Takes `&mut self` for the same reason as
+    /// `enable_metrics`: the enabled/disabled decision is fixed before
+    /// the service is shared.
+    pub fn enable_oracle(&mut self) {
+        self.oracle = Some(Arc::new(Oracle::new(
+            self.backend.namespace_size(),
+            self.backend.capacity(),
+        )));
+    }
+
+    /// The concurrency oracle, if the service was built with
+    /// [`NameServiceBuilder::oracle`]`(true)` — `None` means disabled
+    /// (the default; the acquire/release paths then record nothing).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use renaming_service::{Algorithm, NameService};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let service = NameService::builder(Algorithm::Rebatching, 8)
+    ///     .oracle(true)
+    ///     .build()?;
+    /// drop(service.acquire()?);
+    /// let report = service.oracle().expect("enabled").verdict();
+    /// assert!(report.is_clean() && report.drained());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn oracle(&self) -> Option<&Arc<Oracle>> {
+        self.oracle.as_ref()
+    }
+
+    /// Checks the recorded history *and* the service's own quiescent
+    /// counters in one verdict: the history checker's report, the
+    /// worker conservation law, and agreement between the history's
+    /// live count and the backend's [`held`](Self::held). `None` if the
+    /// oracle is disabled. Meaningful at quiescence (all acquiring
+    /// threads joined); see [`OracleVerdict`].
+    pub fn oracle_verdict(&self) -> Option<OracleVerdict> {
+        let oracle = self.oracle.as_ref()?;
+        Some(OracleVerdict {
+            history: oracle.verdict(),
+            workers: renaming_oracle::WorkerCounts {
+                created: self.worker_count() as u64,
+                pooled: self.pooled_workers() as u64,
+                retired: self.retired_workers(),
+                resident: self.resident_workers() as u64,
+            },
+            held: self.held(),
+        })
     }
 
     /// Acquires a unique name, returning an RAII guard that releases it
@@ -302,6 +366,21 @@ impl NameService {
     ///
     /// As for [`acquire`](Self::acquire).
     pub fn acquire_name(&self) -> Result<Name, RenamingError> {
+        // Oracle disabled (the default): one never-taken branch, no
+        // recording — the zero-cost-when-disabled discipline.
+        let Some(oracle) = &self.oracle else {
+            return self.acquire_name_timed();
+        };
+        oracle.acquire_start();
+        let result = self.acquire_name_timed();
+        match &result {
+            Ok(name) => oracle.acquire_win(name.value()),
+            Err(_) => oracle.acquire_fail(),
+        }
+        result
+    }
+
+    fn acquire_name_timed(&self) -> Result<Name, RenamingError> {
         // Metrics disabled (the default): one never-taken branch, no
         // clock reads — the zero-cost-when-disabled discipline.
         let Some(metrics) = &self.metrics else {
@@ -360,6 +439,27 @@ impl NameService {
     /// # }
     /// ```
     pub fn release_name(&self, name: Name) -> Result<(), RenamingError> {
+        // The oracle must record *before* the backend resets the slot:
+        // the published clock has to be visible to the name's next
+        // winner (see the channel contract in `renaming_oracle`).
+        if let Some(oracle) = &self.oracle {
+            oracle.release(name.value());
+        }
+        self.release_name_timed(name)
+    }
+
+    /// The RAII release path: identical to
+    /// [`release_name`](Self::release_name) except the oracle records
+    /// the return as a `GuardDrop` event, so histories distinguish
+    /// explicit releases from guard drops.
+    pub(crate) fn release_name_from_guard(&self, name: Name) -> Result<(), RenamingError> {
+        if let Some(oracle) = &self.oracle {
+            oracle.guard_drop(name.value());
+        }
+        self.release_name_timed(name)
+    }
+
+    fn release_name_timed(&self, name: Name) -> Result<(), RenamingError> {
         let Some(metrics) = &self.metrics else {
             return self.backend.release(name);
         };
@@ -489,6 +589,33 @@ impl NameService {
         self.combiner.as_ref()
     }
 
+    /// Oracle hooks for the async facade, which publishes into the
+    /// combiner's slot table directly instead of going through
+    /// [`acquire_name`](Self::acquire_name). Each is a no-op when the
+    /// oracle is disabled. The *recording* participant is the polling
+    /// (or dropping) task's thread — the thread that observes the
+    /// outcome — matching the sync path's convention that the
+    /// requester, not the combiner, records the win.
+    pub(crate) fn oracle_note_start(&self) {
+        if let Some(oracle) = &self.oracle {
+            oracle.acquire_start();
+        }
+    }
+
+    /// Records an async win; see [`oracle_note_start`](Self::oracle_note_start).
+    pub(crate) fn oracle_note_win(&self, name: Name) {
+        if let Some(oracle) = &self.oracle {
+            oracle.acquire_win(name.value());
+        }
+    }
+
+    /// Records an async failure; see [`oracle_note_start`](Self::oracle_note_start).
+    pub(crate) fn oracle_note_fail(&self) {
+        if let Some(oracle) = &self.oracle {
+            oracle.acquire_fail();
+        }
+    }
+
     /// Checks a worker out for the combining front-end. It usually stays
     /// resident with the combiner role (the role's Acquire/Release lock
     /// edges hand it between combiners); [`Self::checkin_worker`] takes
@@ -532,6 +659,7 @@ impl fmt::Debug for NameService {
             .field("pool", &self.pool_kind())
             .field("seed_policy", &self.seed_policy)
             .field("acquire_mode", &self.acquire_mode())
+            .field("oracle", &self.oracle.is_some())
             .finish()
     }
 }

@@ -82,7 +82,8 @@ pub use renaming_tas as tas;
 pub mod prelude {
     pub use renaming_core::{Epsilon, Name, RenamingError};
     pub use renaming_service::{
-        AcquireFuture, AcquireMode, Algorithm, AsyncNameGuard, AsyncNameService, NameGuard,
-        NameService, NameServiceBuilder, Namespace, PoolKind, SeedPolicy, TasBackend,
+        AcquireFuture, AcquireMode, Algorithm, AsyncNameGuard, AsyncNameService, HistoryReport,
+        NameGuard, NameService, NameServiceBuilder, Namespace, Oracle, OracleVerdict, PoolKind,
+        SeedPolicy, TasBackend, Violation, WorkerCounts,
     };
 }

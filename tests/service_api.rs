@@ -3,8 +3,11 @@
 //! Four guarantees under test:
 //!
 //! 1. **Cross-thread uniqueness** — all concurrently held [`NameGuard`]s
-//!    carry distinct names (checked live, per acquisition, via a per-slot
-//!    occupancy table, not just post-hoc).
+//!    carry distinct names, proved over the whole execution by the
+//!    concurrency oracle: every churn run records vector-clocked
+//!    acquire/release events and the post-run checker shows no two
+//!    holds of one name overlap under happens-before (plus consistent
+//!    mid-churn snapshot cuts — not just post-hoc end states).
 //! 2. **Drop-based recycling** — names return to the namespace when
 //!    guards drop, so sustained churn far beyond the namespace size never
 //!    exhausts it, and the service drains to zero held names.
@@ -21,13 +24,11 @@
 //!    reset, and draining an epoch's per-slot ticket window surfaces a
 //!    structured error (never a panic) and heals on release.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-
 use loose_renaming::prelude::*;
 
 /// Acquire/release churn on every releasable backend: `threads` real
-/// threads, each cycling `iterations` times, with a live occupancy table
-/// asserting cross-thread uniqueness at every hold.
+/// threads, each cycling `iterations` times, with the concurrency
+/// oracle proving cross-thread uniqueness over the recorded history.
 fn stress(algorithm: Algorithm, threads: usize, iterations: usize) {
     stress_with_pool(algorithm, threads, iterations, PoolKind::Sharded, None);
 }
@@ -41,6 +42,7 @@ fn stress_with_pool(
 ) {
     let mut builder = NameService::builder(algorithm, threads)
         .pool_kind(pool)
+        .oracle(true)
         .seed_policy(SeedPolicy::Fixed(0xA11CE));
     if let Some(shards) = shards {
         builder = builder.pool_shards(shards);
@@ -49,59 +51,67 @@ fn stress_with_pool(
     churn(&service, threads, iterations);
 }
 
-/// Acquire/release churn on an already-built service, with the live
-/// occupancy table asserting cross-thread uniqueness at every hold.
+/// Acquire/release churn on an already-built, oracle-enabled service.
+/// The hand-rolled live occupancy table this helper used to carry is
+/// replaced by the concurrency oracle: every hold is recorded with a
+/// vector clock, mid-churn consistent snapshots bound live occupancy
+/// while threads are still running, and the post-run checker proves
+/// no overlapping holds, the namespace bound, release matching, and
+/// the worker conservation law in one verdict.
 fn churn(service: &NameService, threads: usize, iterations: usize) {
     assert!(service.supports_release());
-    let occupied: Vec<AtomicBool> = (0..service.namespace_size())
-        .map(|_| AtomicBool::new(false))
-        .collect();
-    let total_acquires = AtomicUsize::new(0);
+    let oracle = service.oracle().expect("churn services enable the oracle");
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let (service, occupied, total) = (&service, &occupied, &total_acquires);
+            let service = &service;
             scope.spawn(move || {
                 for _ in 0..iterations {
                     let guard = service.acquire().expect("within capacity");
-                    let slot = &occupied[guard.value()];
-                    assert!(
-                        !slot.swap(true, Ordering::SeqCst),
-                        "name {} handed to two concurrent holders",
-                        guard.value()
-                    );
-                    total.fetch_add(1, Ordering::Relaxed);
+                    assert!(guard.value() < service.namespace_size());
                     std::hint::spin_loop();
-                    // Clear the occupancy bit *before* the release the
-                    // guard drop performs, so a racing re-acquire of the
-                    // same slot never observes a stale `true`.
-                    slot.store(false, Ordering::SeqCst);
                     drop(guard);
                 }
             });
         }
+        // Chandy–Lamport cuts taken while the churn is in flight: the
+        // checker will prove each cut consistent and its live
+        // occupancy within capacity.
+        for _ in 0..2 {
+            std::thread::yield_now();
+            oracle.snapshot();
+        }
     });
 
+    let verdict = service.oracle_verdict().expect("oracle enabled");
+    assert!(
+        verdict.is_clean(),
+        "oracle violations under {:?} churn: {:?}",
+        service.algorithm(),
+        verdict.history.violations
+    );
+    assert!(verdict.drained(), "all names recycled after the churn");
     assert_eq!(
-        total_acquires.load(Ordering::Relaxed),
-        threads * iterations,
+        verdict.history.wins,
+        (threads * iterations) as u64,
         "every cycle must complete"
     );
+    assert_eq!(verdict.history.released(), verdict.history.wins);
+    assert_eq!(verdict.history.participants, threads);
+    for snapshot in &verdict.history.snapshots {
+        assert!(snapshot.consistent, "inconsistent cut: {snapshot:?}");
+        assert!(
+            snapshot.live_at_cut <= service.capacity(),
+            "cut occupancy over capacity: {snapshot:?}"
+        );
+    }
     assert_eq!(service.held(), 0, "all names recycled after the churn");
     // The churn performed far more acquisitions than the namespace has
     // slots — only recycling makes that possible.
     assert!(threads * iterations > 2 * service.namespace_size());
-    // Worker conservation: once idle, every session ever opened is
-    // pooled, was retired on overflow, or is held resident by the
-    // combining front-end — the pool leaks nothing.
-    assert_eq!(
-        service.worker_count() as u64,
-        service.pooled_workers() as u64
-            + service.retired_workers()
-            + service.resident_workers() as u64,
-        "sessions leaked by the {:?} pool",
-        service.pool_kind(),
-    );
+    // Worker conservation (pooled + retired + resident == created) is
+    // part of `is_clean` via the verdict's `workers_conserved`.
+    assert!(verdict.workers_conserved());
 }
 
 #[test]
@@ -297,6 +307,7 @@ fn combining_churn_is_unique_and_recycles() {
         let threads = 16;
         let service = NameService::builder(algorithm, threads)
             .acquire_mode(AcquireMode::Combining)
+            .oracle(true)
             .seed_policy(SeedPolicy::Fixed(0xC0B1))
             .build()
             .expect("build");
@@ -313,6 +324,7 @@ fn combining_tournament_churn_is_unique_and_recycles() {
     let service = NameService::builder(Algorithm::Rebatching, threads)
         .tas_backend(TasBackend::Tournament)
         .acquire_mode(AcquireMode::Combining)
+        .oracle(true)
         .seed_policy(SeedPolicy::Fixed(0xC0B2))
         .build()
         .expect("build");
@@ -331,43 +343,40 @@ fn combining_handoff_survives_guard_drops_mid_drain() {
     // Each thread holds up to two guards at once, so capacity is double.
     let service = NameService::builder(Algorithm::FastAdaptive, 2 * threads)
         .acquire_mode(AcquireMode::Combining)
+        .oracle(true)
         .seed_policy(SeedPolicy::Fixed(0x4A9D))
         .build()
         .expect("build");
-    let occupied: Vec<AtomicBool> = (0..service.namespace_size())
-        .map(|_| AtomicBool::new(false))
-        .collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let (service, occupied) = (&service, &occupied);
+            let service = &service;
             scope.spawn(move || {
                 for _ in 0..100 {
                     // First acquire may install this thread as combiner
                     // for a whole batch of peers.
                     let first = service.acquire().expect("within capacity");
-                    assert!(
-                        !occupied[first.value()].swap(true, Ordering::SeqCst),
-                        "name {} duplicated",
-                        first.value()
-                    );
                     // Second acquire re-enters the combiner while the
                     // first guard is still live...
                     let second = service.acquire().expect("within capacity");
-                    assert!(
-                        !occupied[second.value()].swap(true, Ordering::SeqCst),
-                        "name {} duplicated",
-                        second.value()
-                    );
                     // ...and the first guard drops between the two
                     // publishes — a release interleaved with draining.
-                    occupied[first.value()].store(false, Ordering::SeqCst);
                     drop(first);
-                    occupied[second.value()].store(false, Ordering::SeqCst);
                     drop(second);
                 }
             });
         }
     });
+    // The oracle history carries every interleaved hold; the checker
+    // proves no two of them ever shared a name concurrently.
+    let verdict = service.oracle_verdict().expect("oracle enabled");
+    assert!(
+        verdict.is_clean(),
+        "oracle violations: {:?}",
+        verdict.history.violations
+    );
+    assert!(verdict.drained());
+    assert_eq!(verdict.history.wins, (threads * 100 * 2) as u64);
+    assert_eq!(verdict.history.guard_drops, verdict.history.wins);
     assert_eq!(service.held(), 0, "all names recycled after the handoffs");
 }
 
@@ -441,6 +450,7 @@ fn namespace_exhaustion_is_an_error_not_a_panic() {
 fn stress_tournament(algorithm: Algorithm, threads: usize) {
     let service = NameService::builder(algorithm, threads)
         .tas_backend(TasBackend::Tournament)
+        .oracle(true)
         .seed_policy(SeedPolicy::Fixed(0x70AB))
         .build()
         .expect("build");
