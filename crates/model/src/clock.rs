@@ -1,0 +1,76 @@
+//! Dense vector clocks for the happens-before race detector.
+//!
+//! One component per model thread, indexed by thread id. Components a
+//! clock has never seen are implicitly zero, so clocks taken before a
+//! spawn compare correctly against clocks taken after it.
+
+/// A dense vector clock: component `i` counts thread `i`'s events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VClock {
+    components: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments this clock's own component for thread `tid`.
+    pub fn tick(&mut self, tid: usize) {
+        if self.components.len() <= tid {
+            self.components.resize(tid + 1, 0);
+        }
+        self.components[tid] += 1;
+    }
+
+    /// Joins `other` into `self` (componentwise max) — the acquire half
+    /// of a synchronizes-with edge.
+    pub fn join(&mut self, other: &VClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` — i.e. the event stamped `self` happens-before (or is)
+    /// the event stamped `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.components
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.components.get(i).copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_and_compare() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        assert!(!a.leq(&b), "a advanced past the zero clock");
+        assert!(b.leq(&a), "zero clock precedes everything");
+        b.tick(1);
+        assert!(!a.leq(&b) && !b.leq(&a), "concurrent clocks are unordered");
+        b.join(&a);
+        assert!(a.leq(&b), "join makes the edge visible");
+        a.tick(0);
+        assert!(!a.leq(&b), "a's next event is again unordered");
+    }
+
+    #[test]
+    fn implicit_zero_components_compare_correctly() {
+        let mut long = VClock::new();
+        long.tick(5);
+        let short = VClock::new();
+        assert!(short.leq(&long));
+        assert!(!long.leq(&short));
+    }
+}

@@ -1,0 +1,13 @@
+//! Model replacement for `std::hint::spin_loop`.
+
+use std::panic::Location;
+
+use crate::scheduler;
+
+/// In the model a spin-loop hint is a fair-yield scheduling point: the
+/// spinner is descheduled until another thread has run, which lets the
+/// checker explore bounded spin loops without reporting livelock.
+#[track_caller]
+pub fn spin_loop() {
+    scheduler::yield_now(Location::caller());
+}

@@ -1,0 +1,147 @@
+//! Model replacements for the `std::thread` APIs the service uses:
+//! `spawn`/`join`, `current`, `park`/`park_timeout`/`unpark`, and
+//! `yield_now`. On a model thread these are scheduling points with the
+//! same happens-before edges std guarantees (spawn edge, join edge,
+//! unpark-synchronizes-with-park); off the model they delegate to std.
+
+use std::any::Any;
+use std::panic::Location;
+use std::time::Duration;
+
+use crate::scheduler;
+
+/// A handle to a thread, like [`std::thread::Thread`]: either a real
+/// one, or a model thread of the current checker execution.
+#[derive(Debug, Clone)]
+pub enum Thread {
+    /// A real OS thread (off-model fallback).
+    Std(std::thread::Thread),
+    /// A model thread of one checker execution.
+    Model {
+        /// The execution the thread belongs to; unparks from later
+        /// executions (stale handles) are ignored.
+        exec_id: u64,
+        /// The model thread id.
+        tid: usize,
+    },
+}
+
+/// A thread identifier, like [`std::thread::ThreadId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadId {
+    /// Identifier of a real OS thread.
+    Std(std::thread::ThreadId),
+    /// Identifier of a model thread: (execution id, thread id).
+    Model(u64, usize),
+}
+
+impl Thread {
+    /// Wakes the thread from `park`, or banks the token — with the std
+    /// guarantee that the unpark happens-before the park's return.
+    #[track_caller]
+    pub fn unpark(&self) {
+        match self {
+            Thread::Std(thread) => thread.unpark(),
+            Thread::Model { exec_id, tid } => {
+                scheduler::unpark(*exec_id, *tid, Location::caller());
+            }
+        }
+    }
+
+    /// The thread's identifier.
+    pub fn id(&self) -> ThreadId {
+        match self {
+            Thread::Std(thread) => ThreadId::Std(thread.id()),
+            Thread::Model { exec_id, tid } => ThreadId::Model(*exec_id, *tid),
+        }
+    }
+}
+
+/// The handle of the calling thread (model thread when inside a check).
+pub fn current() -> Thread {
+    match scheduler::current_ctx() {
+        Some(ctx) => Thread::Model { exec_id: scheduler::ctx_exec_id(&ctx), tid: ctx.tid },
+        None => Thread::Std(std::thread::current()),
+    }
+}
+
+/// Blocks the calling thread until its token is made available.
+#[track_caller]
+pub fn park() {
+    scheduler::park(false, Location::caller());
+}
+
+/// Parks with a timeout. In the model the duration is irrelevant: the
+/// scheduler explores both the woken-by-unpark and the timed-out
+/// resumption, which is exactly the set of behaviors a real timeout
+/// can produce.
+#[track_caller]
+pub fn park_timeout(_duration: Duration) {
+    scheduler::park(true, Location::caller());
+}
+
+/// Cooperatively gives up the scheduling slot. In the model this is the
+/// fair-yield point: the thread is not rescheduled until another thread
+/// has taken a step.
+#[track_caller]
+pub fn yield_now() {
+    scheduler::yield_now(Location::caller());
+}
+
+/// Handle for joining a spawned thread, like
+/// [`std::thread::JoinHandle`].
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    inner: JoinInner<T>,
+}
+
+enum JoinInner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model { tid: usize, _marker: std::marker::PhantomData<fn() -> T> },
+}
+
+impl<T> std::fmt::Debug for JoinInner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinInner::Std(_) => f.write_str("JoinInner::Std"),
+            JoinInner::Model { tid, .. } => write!(f, "JoinInner::Model({tid})"),
+        }
+    }
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. A model
+    /// join establishes the std join edge (everything the child did
+    /// happens-before the join's return); if the child panicked the
+    /// whole execution is torn down and reported by the checker, so
+    /// the model arm never returns `Err`.
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            JoinInner::Std(handle) => handle.join(),
+            JoinInner::Model { tid, .. } => {
+                let result: Box<dyn Any + Send> = scheduler::join(tid, Location::caller());
+                Ok(*result.downcast::<T>().expect("join result type matches spawn"))
+            }
+        }
+    }
+}
+
+/// Spawns a thread: a model thread inside a check (with the spawn
+/// happens-before edge), a real `std::thread` otherwise.
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if scheduler::current_ctx().is_some() {
+        let tid = scheduler::spawn(
+            Box::new(move || Box::new(f()) as Box<dyn Any + Send>),
+            Location::caller(),
+        );
+        JoinHandle { inner: JoinInner::Model { tid, _marker: std::marker::PhantomData } }
+    } else {
+        JoinHandle { inner: JoinInner::Std(std::thread::spawn(f)) }
+    }
+}

@@ -1,0 +1,178 @@
+//! Model of the combiner lock handoff and resident-worker conservation
+//! (`crates/service/src/combiner.rs`): contenders win a CAS lock, take
+//! the resident worker seat (or check a worker out of the pool), serve,
+//! then re-win the lock to park their worker. Parking into an occupied
+//! seat *displaces* the incoming worker, which must be checked back in
+//! — the mutation test re-introduces the PR 6 bug of dropping it and
+//! asserts the checker catches the conservation violation.
+//!
+//! The seat itself is an `UnsafeCell` in the real code, guarded by the
+//! combiner lock; the model stands it in with `try_lock().expect(..)`,
+//! which turns any violation of the lock discipline into a panic the
+//! checker reports with its schedule.
+
+use std::sync::Mutex as StdMutex;
+
+use renaming_model::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use renaming_model::sync::Arc;
+use renaming_model::{thread, Checker, Violation};
+
+/// Pool capacity: smaller than the worst-case worker count so the
+/// checkin overflow (retire) path is explored too.
+const POOL_CAP: usize = 2;
+
+struct CombinerModel {
+    /// The combiner lock (`CombinerLock` in the real code, SeqCst CAS).
+    lock: AtomicBool,
+    /// The resident seat — guarded by `lock`; `try_lock` asserts that.
+    seat: StdMutex<Option<usize>>,
+    /// Stand-in for the worker pool (the real lock-free pool is modeled
+    /// separately in `pool_model.rs`).
+    pool: StdMutex<Vec<usize>>,
+    created: AtomicUsize,
+    retired: AtomicUsize,
+}
+
+impl CombinerModel {
+    fn new() -> Self {
+        Self {
+            lock: AtomicBool::new(false),
+            seat: StdMutex::new(None),
+            pool: StdMutex::new(Vec::new()),
+            created: AtomicUsize::new(0),
+            retired: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) {
+        while self
+            .lock
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            thread::yield_now();
+        }
+    }
+
+    fn unlock(&self) {
+        self.lock.store(false, Ordering::SeqCst);
+    }
+
+    /// Checkout: reuse a pooled worker or create a fresh one.
+    fn checkout(&self) -> usize {
+        let pooled = self.pool.lock().expect("pool mutex").pop();
+        pooled.unwrap_or_else(|| self.created.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    /// Checkin: pool the worker, retiring on overflow — either way the
+    /// worker stays accounted for.
+    fn checkin(&self, worker: usize) {
+        let mut pool = self.pool.lock().expect("pool mutex");
+        if pool.len() < POOL_CAP {
+            pool.push(worker);
+        } else {
+            drop(pool);
+            self.retired.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// One combining pass: `take_resident` → serve → `park_resident`,
+    /// returning the displaced worker exactly like the real code does.
+    fn combine_once(&self) -> Option<usize> {
+        self.lock();
+        let seated = self
+            .seat
+            .try_lock()
+            .expect("seat is only touched under the combiner lock")
+            .take();
+        self.unlock();
+        let worker = seated.unwrap_or_else(|| self.checkout());
+        // (Serving happens here; the lock is deliberately not held.)
+        self.lock();
+        let displaced = {
+            let mut seat = self
+                .seat
+                .try_lock()
+                .expect("seat is only touched under the combiner lock");
+            if seat.is_some() {
+                Some(worker) // incumbent stays; the newcomer is displaced
+            } else {
+                *seat = Some(worker);
+                None
+            }
+        };
+        self.unlock();
+        displaced
+    }
+
+    /// `worker_count == pooled + retired + resident` — the conservation
+    /// law the real service asserts in its accounting.
+    fn assert_conservation(&self) {
+        let seated = usize::from(self.seat.lock().expect("pool quiesced").is_some());
+        let pooled = self.pool.lock().expect("pool quiesced").len();
+        let retired = self.retired.load(Ordering::SeqCst);
+        let created = self.created.load(Ordering::SeqCst);
+        assert_eq!(
+            created,
+            seated + pooled + retired,
+            "worker conservation violated: created {created} != seated {seated} \
+             + pooled {pooled} + retired {retired}"
+        );
+    }
+}
+
+/// Two contenders handing the combiner role back and forth; `drop_bug`
+/// re-introduces the PR 6 mutation (displaced worker silently dropped).
+fn handoff_model(drop_bug: bool) -> renaming_model::Report {
+    Checker::new().check(move || {
+        let model = Arc::new(CombinerModel::new());
+        let contenders: Vec<_> = (0..2)
+            .map(|_| {
+                let model = Arc::clone(&model);
+                thread::spawn(move || {
+                    if let Some(displaced) = model.combine_once() {
+                        if !drop_bug {
+                            model.checkin(displaced);
+                        }
+                        // else: the PR 6 bug — the displaced worker
+                        // vanishes from the books.
+                    }
+                })
+            })
+            .collect();
+        for contender in contenders {
+            contender.join().unwrap();
+        }
+        model.assert_conservation();
+    })
+}
+
+#[test]
+fn lock_handoff_conserves_workers() {
+    let report = handoff_model(false);
+    println!(
+        "combiner-handoff/correct: {} interleavings (complete: {})",
+        report.interleavings, report.complete
+    );
+    report.assert_clean();
+    assert!(report.complete, "handoff model must be explored exhaustively");
+}
+
+#[test]
+fn displaced_resident_drop_mutant_is_caught() {
+    let report = handoff_model(true);
+    println!(
+        "combiner-handoff/displaced-drop-mutant: {} interleavings until violation",
+        report.interleavings
+    );
+    match report.violation {
+        Some(Violation::Panic { ref message, ref schedule, .. }) => {
+            assert!(
+                message.contains("worker conservation violated"),
+                "the conservation assert fires: {message}"
+            );
+            assert!(!schedule.is_empty(), "reproducing schedule attached");
+        }
+        ref other => panic!("expected the dropped worker to break conservation, got {other:?}"),
+    }
+}

@@ -1,0 +1,120 @@
+//! Model of the `RequestSlot` five-state machine
+//! (`crates/service/src/slots.rs`): a client publishes EMPTY→PENDING,
+//! the combiner *adopts* with a PENDING→SERVING CAS, and a cancelling
+//! client *withdraws* with a PENDING→EMPTY CAS. The two CASes are the
+//! exclusivity mechanism: exactly one side wins in every interleaving.
+//! The mutation test replaces the withdraw CAS with a blind store (the
+//! obvious-but-wrong implementation) and asserts the checker finds the
+//! interleaving where both sides think they won.
+
+use renaming_model::sync::atomic::{AtomicUsize, Ordering};
+use renaming_model::sync::Arc;
+use renaming_model::{thread, Checker, Violation};
+
+const EMPTY: usize = 0;
+const PENDING: usize = 1;
+const SERVING: usize = 2;
+const DONE: usize = 3;
+
+struct Slot {
+    state: AtomicUsize,
+    result: AtomicUsize,
+}
+
+/// The combiner side: scan, adopt with the PENDING→SERVING CAS, fill.
+/// Mirrors `RequestSlot::take_for_service` + `fill`.
+fn serve(slot: &Slot) -> bool {
+    if slot.state.load(Ordering::SeqCst) != PENDING {
+        return false;
+    }
+    if slot
+        .state
+        .compare_exchange(PENDING, SERVING, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return false;
+    }
+    // Payload is Relaxed on purpose: the DONE publication is the edge —
+    // exactly the real `fill` idiom, and the detector verifies it.
+    slot.result.store(42, Ordering::Relaxed);
+    slot.state.store(DONE, Ordering::SeqCst);
+    true
+}
+
+/// The client side: publish, then change our mind and try to withdraw.
+/// `cas_withdraw` selects the real CAS implementation or the blind-store
+/// mutant. Returns whether the withdraw won.
+fn publish_then_withdraw(slot: &Slot, cas_withdraw: bool) -> bool {
+    slot.state.store(PENDING, Ordering::SeqCst);
+    if cas_withdraw {
+        slot.state
+            .compare_exchange(PENDING, EMPTY, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    } else {
+        // Mutant: "nobody else touches my slot, a store is enough".
+        slot.state.store(EMPTY, Ordering::SeqCst);
+        true
+    }
+}
+
+fn slot_model(cas_withdraw: bool) -> renaming_model::Report {
+    Checker::new().check(move || {
+        let slot = Arc::new(Slot {
+            state: AtomicUsize::new(EMPTY),
+            result: AtomicUsize::new(0),
+        });
+        let combiner_slot = Arc::clone(&slot);
+        let combiner = thread::spawn(move || serve(&combiner_slot));
+
+        let withdrew = publish_then_withdraw(&slot, cas_withdraw);
+        let adopted = combiner.join().unwrap();
+
+        assert!(
+            !(withdrew && adopted),
+            "exclusivity violated: the client withdrew while the combiner was serving"
+        );
+        assert!(
+            withdrew || adopted,
+            "the request vanished: neither withdrawn nor adopted"
+        );
+        if adopted {
+            // The client lost the withdraw race and must wait for the
+            // fill — and then sees the published payload.
+            while slot.state.load(Ordering::SeqCst) != DONE {
+                thread::yield_now();
+            }
+            assert_eq!(slot.result.load(Ordering::Relaxed), 42);
+        }
+    })
+}
+
+#[test]
+fn adopt_and_withdraw_are_exclusive() {
+    let report = slot_model(true);
+    println!(
+        "slot-machine/correct: {} interleavings (complete: {})",
+        report.interleavings, report.complete
+    );
+    report.assert_clean();
+    assert!(report.complete, "slot model must be explored exhaustively");
+}
+
+#[test]
+fn blind_store_withdraw_mutant_is_caught() {
+    let report = slot_model(false);
+    println!(
+        "slot-machine/blind-store-mutant: {} interleavings until violation",
+        report.interleavings
+    );
+    match report.violation {
+        Some(Violation::Panic { ref message, ref schedule, .. }) => {
+            assert!(
+                message.contains("exclusivity violated")
+                    || message.contains("the request vanished"),
+                "the exclusivity assert fires: {message}"
+            );
+            assert!(!schedule.is_empty(), "reproducing schedule attached");
+        }
+        ref other => panic!("expected broken exclusivity, got {other:?}"),
+    }
+}

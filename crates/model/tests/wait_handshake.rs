@@ -1,0 +1,118 @@
+//! Model of the service's wait-cell publish/park handshake
+//! (`crates/service/src/wait.rs` + the waiter loop in `combiner.rs`):
+//! the waiter *engages* the cell, re-checks the done flag, and only
+//! then parks; the filler stores the flag and unparks anyone engaged.
+//! The correct protocol has no lost wakeup in any interleaving; the
+//! check-then-engage mutant deadlocks, and the Relaxed-weakened mutant
+//! is flagged by the ordering detector.
+
+use renaming_model::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use renaming_model::sync::Arc;
+use renaming_model::{thread, Checker, Violation};
+
+struct Cell {
+    /// The waiter's registration — the combiner's `WaitCell::engaged`.
+    engaged: AtomicBool,
+    /// Request completion — the slot's DONE state, collapsed to a bool.
+    done: AtomicBool,
+    /// The filled payload — the slot's result cell.
+    result: AtomicUsize,
+}
+
+/// The filler half: publish the result, flip `done`, then notify an
+/// engaged waiter — the `fill` + `take_notification` sequence.
+fn fill(cell: &Cell, waiter: &thread::Thread, publish: Ordering, check: Ordering) {
+    cell.result.store(7, Ordering::Relaxed);
+    cell.done.store(true, publish);
+    if cell.engaged.load(check) {
+        waiter.unpark();
+    }
+}
+
+/// The correct waiter half: engage *before* the final done re-check
+/// (the Dekker pair with `fill`'s store-then-check), then park.
+fn wait_engage_then_check(cell: &Cell, engage: Ordering, check: Ordering) -> usize {
+    cell.engaged.store(true, engage);
+    while !cell.done.load(check) {
+        thread::park();
+    }
+    cell.engaged.store(false, engage);
+    cell.result.load(Ordering::Relaxed)
+}
+
+/// The lost-wakeup mutant: check first, then engage and park without
+/// re-checking. The filler can run entirely inside the window between
+/// the check and the engage, see `engaged == false`, skip the unpark —
+/// and the waiter parks forever.
+fn wait_check_then_engage(cell: &Cell, engage: Ordering, check: Ordering) -> usize {
+    if !cell.done.load(check) {
+        cell.engaged.store(true, engage);
+        thread::park();
+        cell.engaged.store(false, engage);
+    }
+    cell.result.load(Ordering::Relaxed)
+}
+
+fn run_handshake(
+    waiter_fn: fn(&Cell, Ordering, Ordering) -> usize,
+    order: Ordering,
+) -> renaming_model::Report {
+    Checker::new().check(move || {
+        let cell = Arc::new(Cell {
+            engaged: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            result: AtomicUsize::new(0),
+        });
+        let filler_cell = Arc::clone(&cell);
+        let waiter_handle = thread::current();
+        let filler =
+            thread::spawn(move || fill(&filler_cell, &waiter_handle, order, order));
+        let result = waiter_fn(&cell, order, order);
+        assert_eq!(result, 7, "the published result is visible after the wakeup");
+        filler.join().unwrap();
+    })
+}
+
+#[test]
+fn engage_then_check_handshake_never_loses_a_wakeup() {
+    let report = run_handshake(wait_engage_then_check, Ordering::SeqCst);
+    println!(
+        "wait-handshake/correct: {} interleavings (complete: {})",
+        report.interleavings, report.complete
+    );
+    report.assert_clean();
+    assert!(report.complete, "handshake model must be explored exhaustively");
+}
+
+#[test]
+fn check_then_engage_mutant_deadlocks() {
+    let report = run_handshake(wait_check_then_engage, Ordering::SeqCst);
+    println!(
+        "wait-handshake/lost-wakeup-mutant: {} interleavings until deadlock",
+        report.interleavings
+    );
+    match report.violation {
+        Some(Violation::Deadlock { ref waiting, ref schedule }) => {
+            assert!(
+                waiting.iter().any(|(_, status, _)| status.contains("parked")),
+                "the waiter is parked forever: {waiting:?}"
+            );
+            assert!(!schedule.is_empty(), "reproducing schedule attached");
+        }
+        ref other => panic!("expected the lost wakeup to deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn relaxed_weakened_handshake_is_flagged() {
+    let report = run_handshake(wait_engage_then_check, Ordering::Relaxed);
+    println!(
+        "wait-handshake/relaxed-mutant: {} interleavings, {} race(s)",
+        report.interleavings,
+        report.races.len()
+    );
+    assert!(
+        !report.races.is_empty(),
+        "the detector must flag the Relaxed-weakened handshake"
+    );
+}

@@ -55,6 +55,7 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 #![forbid(unsafe_code)]
 
 use std::cell::RefCell;

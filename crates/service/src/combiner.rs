@@ -53,9 +53,10 @@
 //! request can therefore never strand, waker or thread alike.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use crate::sync_shim::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 use renaming_core::{Name, RenamingError};
 
@@ -67,13 +68,25 @@ use crate::wait::WaiterKind;
 /// batch being served; short enough not to burn a core under
 /// oversubscription. Skipped entirely on single-CPU boxes, where a spin
 /// can never observe progress (the combiner is not running).
+#[cfg(not(renaming_model))]
 const SPIN_LIMIT: u32 = 256;
+/// Model builds: every spin iteration is a scheduling point of the
+/// interleaving checker, so a long spin phase only multiplies the state
+/// space without adding behaviors (the checker's fair-yield rule already
+/// guarantees each spin observes progress). Two iterations keep the
+/// spin→yield→park ladder itself explored.
+#[cfg(renaming_model)]
+const SPIN_LIMIT: u32 = 2;
 
 /// Yields between spinning and parking. On an oversubscribed box the
 /// combiner usually holds the lock only because it was descheduled;
 /// yielding hands it the CPU to finish, at a fraction of a park/unpark
 /// round-trip.
+#[cfg(not(renaming_model))]
 const YIELD_LIMIT: u32 = 16;
+/// Model builds: shortened like [`SPIN_LIMIT`].
+#[cfg(renaming_model)]
+const YIELD_LIMIT: u32 = 2;
 
 /// Park timeout: sync waiters re-contend for the combiner lock at least
 /// this often. The publish/park handshake (SeqCst on both sides, see
@@ -104,12 +117,21 @@ const DRAIN_ROUNDS: usize = 4;
 /// Whether this box has a single hardware thread — cached once. Waiters
 /// skip the spin phase there: with the combiner descheduled, a spin can
 /// only burn the quantum the combiner needs.
+#[cfg(not(renaming_model))]
 fn single_cpu() -> bool {
     use std::sync::OnceLock;
     static SINGLE: OnceLock<bool> = OnceLock::new();
     *SINGLE.get_or_init(|| {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) == 1
     })
+}
+
+/// Model builds: the checker's virtual threads all "run", so the
+/// single-CPU spin cutoff does not apply — and the host's CPU count must
+/// not steer which branches the model explores.
+#[cfg(renaming_model)]
+fn single_cpu() -> bool {
+    false
 }
 
 /// The combiner lock, padded so contending CASes on it never share a
@@ -133,6 +155,8 @@ struct CombinerCore {
     /// Occupancy mirror of `resident` (0 or 1), maintained under the
     /// lock but readable without it — the service's worker conservation
     /// accounting ([`NameService::resident_workers`]) reads it.
+    /// Release stores / Acquire load, so an off-lock reader gets a
+    /// happens-before edge to the store it observes (free on x86).
     resident_count: AtomicUsize,
     /// Published-request hint: incremented just before a waiter stores
     /// `PENDING` ([`Combiner::announce`]), decremented by the combiner
@@ -231,9 +255,12 @@ impl Combiner {
 
     /// Records a failed fast-path lock CAS, keeping the next
     /// [`CONTENDED_WINDOW`] combiner turns in the short-critical-section
-    /// shape.
+    /// shape. Release (not Relaxed): pairs with the Acquire load in
+    /// [`serve_locked`](Self::serve_locked) so the cross-thread read is
+    /// a happens-before edge (free on x86; the model's race detector
+    /// insists on it even for a heuristic).
     pub(crate) fn note_contention(&self) {
-        self.core.contended.store(CONTENDED_WINDOW, Ordering::Relaxed);
+        self.core.contended.store(CONTENDED_WINDOW, Ordering::Release);
     }
 
     /// Bumps the published-request hint. Must be called *before* the
@@ -312,12 +339,12 @@ impl Combiner {
             }
             spins += 1;
             if spins < SPIN_LIMIT && !single_cpu() {
-                std::hint::spin_loop();
+                crate::sync_shim::hint::spin_loop();
             } else if spins < SPIN_LIMIT + YIELD_LIMIT {
                 // The lock holder is likely descheduled (certainly so on
                 // a single-CPU box): hand it the rest of the quantum
                 // instead of burning it, then re-contend.
-                std::thread::yield_now();
+                crate::sync_shim::thread::yield_now();
             } else {
                 // Dekker handshake with the combiner's publication: we
                 // engage the wait cell then re-load the state; the
@@ -328,7 +355,7 @@ impl Combiner {
                 // a served request never sleeps out the full timeout.
                 slot.wait.engage();
                 if slot.in_flight() {
-                    std::thread::park_timeout(PARK_TIMEOUT);
+                    crate::sync_shim::thread::park_timeout(PARK_TIMEOUT);
                 }
                 slot.wait.disengage();
             }
@@ -340,7 +367,7 @@ impl Combiner {
     /// the sync fast path and the async future's first poll.
     pub(crate) fn serve_locked(&self, service: &NameService) -> Result<Name, RenamingError> {
         let mut worker = self.take_resident(service);
-        let contended = self.core.contended.load(Ordering::Relaxed);
+        let contended = self.core.contended.load(Ordering::Acquire);
         if contended == 0 {
             // Quiet shape: hold the role across the acquire. One
             // atomic RMW for the whole op — cheaper than the direct
@@ -357,7 +384,7 @@ impl Combiner {
         // pool, which is the direct-mode norm. (We hold the lock, so
         // the decay store cannot erase a concurrent refresh that
         // matters: refreshers are about to fail this very CAS again.)
-        self.core.contended.store(contended - 1, Ordering::Relaxed);
+        self.core.contended.store(contended - 1, Ordering::Release);
         self.unlock();
         let result = worker.session.acquire(&mut worker.rng);
         if self.try_lock() {
@@ -415,6 +442,17 @@ impl Combiner {
                 // inherits the re-check obligation.
                 return;
             }
+            // A nonzero hint with nothing yet adopted means some
+            // publisher sits in its announce→publish window (the hint
+            // increment is program-ordered before the PENDING store).
+            // Yield it the CPU before re-draining: re-electing is
+            // otherwise a busy retry loop whose progress depends
+            // entirely on that other thread being scheduled — the
+            // interleaving checker proves it can starve the publisher
+            // outright under a bounded scheduler, and on a real box
+            // spinning through drain rounds against a descheduled
+            // publisher burns the quantum it needs.
+            crate::sync_shim::thread::yield_now();
             worker = self.take_resident(service);
         }
     }
@@ -425,7 +463,7 @@ impl Combiner {
     fn take_resident(&self, service: &NameService) -> Box<Worker> {
         // SAFETY: the combiner lock is held (see `Sync` for CombinerCore).
         let resident = unsafe { &mut *self.core.resident.get() };
-        self.core.resident_count.store(0, Ordering::Relaxed);
+        self.core.resident_count.store(0, Ordering::Release);
         resident
             .take()
             .unwrap_or_else(|| service.checkout_worker())
@@ -449,7 +487,7 @@ impl Combiner {
             return Some(worker);
         }
         *resident = Some(worker);
-        self.core.resident_count.store(1, Ordering::Relaxed);
+        self.core.resident_count.store(1, Ordering::Release);
         None
     }
 
@@ -457,7 +495,7 @@ impl Combiner {
     /// right now (0 or 1) — part of the service's worker conservation
     /// law alongside the pooled and retired counts.
     pub(crate) fn resident_workers(&self) -> usize {
-        self.core.resident_count.load(Ordering::Relaxed)
+        self.core.resident_count.load(Ordering::Acquire)
     }
 
     /// Serves every pending request through the combiner's worker.

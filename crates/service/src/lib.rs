@@ -60,6 +60,7 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 mod async_api;
 mod builder;
@@ -72,7 +73,11 @@ mod oracle;
 mod pool;
 mod service;
 mod slots;
+mod sync_shim;
 mod wait;
+
+#[cfg(all(test, renaming_model))]
+mod model_tests;
 
 pub use async_api::{AcquireFuture, AsyncNameGuard, AsyncNameService};
 pub use builder::{AcquireMode, Algorithm, NameServiceBuilder, TasBackend};

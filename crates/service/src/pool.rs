@@ -35,8 +35,9 @@
 
 use std::cell::RefCell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use crate::sync_shim::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use crate::sync_shim::sync::Mutex;
 
 /// The session-pool implementation a
 /// [`NameService`](crate::NameService) checks workers out of.
@@ -108,9 +109,14 @@ impl<T> Shard<T> {
 /// Identity source for [`ShardedPool`]s, so each thread's shard hints
 /// are keyed by pool instance. Monotonic — ids are never reused, so a
 /// dead pool's leftover thread-local entries can never alias a live one.
+///
+/// Deliberately on `std` even under `--cfg renaming_model`: model
+/// atomics are not const-constructible, and a process-global id counter
+/// is not part of any modeled protocol (see [`crate::sync_shim`]).
 fn next_pool_id() -> u64 {
+    use std::sync::atomic::AtomicU64;
     static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
-    NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)
+    NEXT_POOL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Per-thread cap on remembered `(pool id, hint)` pairs. A thread that
@@ -147,9 +153,13 @@ pub(crate) struct ShardedPool<T> {
 
 // SAFETY: the pool owns heap pointers to `T` and hands each out to at
 // most one thread at a time (`swap` takes the pointer out of the slot
-// before anyone touches it), so sharing the pool is sound whenever
-// sending `T` is.
+// before anyone touches it), so moving the pool between threads moves
+// only `T`s no other thread can reach — sound whenever sending `T` is.
 unsafe impl<T: Send> Send for ShardedPool<T> {}
+// SAFETY: shared access goes exclusively through the slots' atomics;
+// the single-holder transfer discipline above means `&ShardedPool`
+// never yields two threads access to the same `T`, so `Sync` needs
+// only `T: Send` (no `&T` is ever shared across threads).
 unsafe impl<T: Send> Sync for ShardedPool<T> {}
 
 impl<T> ShardedPool<T> {
@@ -180,7 +190,12 @@ impl<T> ShardedPool<T> {
             if let Some(&(_, hint)) = hints.iter().find(|&&(id, _)| id == self.id) {
                 return hint;
             }
-            let hint = self.next_hint.fetch_add(1, Ordering::Relaxed);
+            // AcqRel (not Relaxed): the RMW chain on this counter is the
+            // only synchronization between the threads drawing hints, and
+            // the model's race detector requires each link of the chain
+            // to carry a happens-before edge. Once-per-(thread, pool), so
+            // the fence cost is irrelevant.
+            let hint = self.next_hint.fetch_add(1, Ordering::AcqRel);
             if hints.len() >= HINTS_PER_THREAD {
                 hints.remove(0); // evict the oldest-assigned entry
             }
@@ -209,11 +224,18 @@ impl<T> ShardedPool<T> {
             let shard = &self.shards[(home + probe) & self.mask];
             for slot in &shard.slots {
                 // Cheap read first: swapping an empty slot would pull its
-                // line exclusive for nothing on the steal path.
-                if slot.load(Ordering::Relaxed).is_null() {
+                // line exclusive for nothing on the steal path. Acquire
+                // (free on x86): the non-null it may observe is another
+                // thread's Release publication, and the model's race
+                // detector requires the edge even on the hint.
+                if slot.load(Ordering::Acquire).is_null() {
                     continue;
                 }
-                let p = slot.swap(ptr::null_mut(), Ordering::Acquire);
+                // AcqRel: Acquire pairs with the publishing CAS (we are
+                // about to own what it published); Release orders this
+                // thread's history before the null it leaves behind,
+                // which a concurrent hint load may observe.
+                let p = slot.swap(ptr::null_mut(), Ordering::AcqRel);
                 if !p.is_null() {
                     // SAFETY: `p` came from `Box::into_raw` in `checkin`
                     // and the swap made this thread its only holder.
@@ -232,13 +254,20 @@ impl<T> ShardedPool<T> {
         for probe in 0..self.shards.len() {
             let shard = &self.shards[(home + probe) & self.mask];
             for slot in &shard.slots {
-                if slot.load(Ordering::Relaxed).is_null()
+                // Acquire on the hint load and on both CAS outcomes, for
+                // the same reason as `checkout`: whatever pointer (or
+                // null) this thread observes was stored by another
+                // thread's Release operation, and every such read must
+                // be a happens-before edge. AcqRel success: Acquire for
+                // the null we consume, Release for the pointer we
+                // publish.
+                if slot.load(Ordering::Acquire).is_null()
                     && slot
                         .compare_exchange(
                             ptr::null_mut(),
                             p,
-                            Ordering::Release,
-                            Ordering::Relaxed,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
                         )
                         .is_ok()
                 {
@@ -255,15 +284,16 @@ impl<T> ShardedPool<T> {
         drop(unsafe { Box::from_raw(p) });
     }
 
-    /// Idle items currently pooled. A pointer scan with relaxed loads:
-    /// advisory while checkouts are in flight, exact once the pool is
-    /// quiescent (thread join orders the slots' CAS publications before
-    /// the scan).
+    /// Idle items currently pooled. A pointer scan: advisory while
+    /// checkouts are in flight, exact once the pool is quiescent (thread
+    /// join orders the slots' CAS publications before the scan). Acquire
+    /// loads (free on x86) so a mid-churn scan still reads each slot
+    /// through a happens-before edge.
     pub(crate) fn pooled(&self) -> usize {
         self.shards
             .iter()
             .flat_map(|shard| shard.slots.iter())
-            .filter(|slot| !slot.load(Ordering::Relaxed).is_null())
+            .filter(|slot| !slot.load(Ordering::Acquire).is_null())
             .count()
     }
 

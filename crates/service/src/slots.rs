@@ -23,8 +23,9 @@
 //! [`crate::wait`] for the handshake.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use crate::sync_shim::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 use crate::wait::{WaitCell, WaiterKind};
 
@@ -152,9 +153,14 @@ impl RequestSlot {
 
 /// Identity source for slot tables (monotonic, never reused), keying
 /// each thread's slot leases per combiner.
+///
+/// Deliberately on `std` even under `--cfg renaming_model`: model
+/// atomics are not const-constructible, and a process-global id counter
+/// is not part of any modeled protocol (see [`crate::sync_shim`]).
 fn next_table_id() -> u64 {
+    use std::sync::atomic::AtomicU64;
     static NEXT: AtomicU64 = AtomicU64::new(0);
-    NEXT.fetch_add(1, Ordering::Relaxed)
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// The combining front-end's array of request slots, shared between the
@@ -191,12 +197,17 @@ impl SlotTable {
     /// `None` when every slot is taken.
     pub(crate) fn claim(&self) -> Option<usize> {
         for (index, slot) in self.slots.iter().enumerate() {
-            if slot.claimed.load(Ordering::Relaxed) {
+            // Acquire on both the hint load and the CAS: either read may
+            // be the one that observes the releasing thread's clear, and
+            // the claimant's subsequent slot accesses must be ordered
+            // after it (free on x86; keeps the model's race detector
+            // edge-complete).
+            if slot.claimed.load(Ordering::Acquire) {
                 continue;
             }
             if slot
                 .claimed
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Acquire)
                 .is_ok()
             {
                 return Some(index);

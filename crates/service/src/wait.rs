@@ -21,10 +21,11 @@
 //! the `engaged` flag around an actual park, so publishing a result to a
 //! spinning waiter still costs one SeqCst load and no mutex traffic.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 use std::task::Waker;
-use std::thread::Thread;
+
+use crate::sync_shim::sync::atomic::{AtomicBool, Ordering};
+use crate::sync_shim::sync::Mutex;
+use crate::sync_shim::thread::Thread;
 
 /// Who to notify when a request slot is filled: the two ways a waiter
 /// can sleep.
@@ -93,7 +94,7 @@ impl WaitCell {
     /// the lease's lifetime and `engage`/`disengage` bracket each park.
     pub(crate) fn install_thread(&self) {
         *self.waiter.lock().expect("combiner waiter poisoned") =
-            Some(WaiterKind::Thread(std::thread::current()));
+            Some(WaiterKind::Thread(crate::sync_shim::thread::current()));
     }
 
     /// Registers `waker` as this cell's waiter and engages the cell.
@@ -114,15 +115,22 @@ impl WaitCell {
     }
 
     /// Clears the park flag after a (thread) waiter wakes.
+    ///
+    /// Release (not Relaxed): the combiner's SeqCst flag load may read
+    /// this store, and a Release/SeqCst pair gives that read a
+    /// happens-before edge (free on x86 — a plain store). The flip is
+    /// benign either way (worst case one spurious unpark), but the
+    /// model's race detector insists every cross-thread read be an edge.
     pub(crate) fn disengage(&self) {
-        self.engaged.store(false, Ordering::Relaxed);
+        self.engaged.store(false, Ordering::Release);
     }
 
     /// Drops any registered waiter and disengages — the slot is being
-    /// released back to the unclaimed pool.
+    /// released back to the unclaimed pool. Release for the same reason
+    /// as [`disengage`](Self::disengage).
     pub(crate) fn clear(&self) {
         *self.waiter.lock().expect("combiner waiter poisoned") = None;
-        self.engaged.store(false, Ordering::Relaxed);
+        self.engaged.store(false, Ordering::Release);
     }
 
     /// The combiner half of the handshake: called *after* the slot's
@@ -146,7 +154,7 @@ impl WaitCell {
                 // One-shot: consume the waker and disengage so a stale
                 // registration is never woken twice. The future's next
                 // poll re-installs before it returns `Pending` again.
-                self.engaged.store(false, Ordering::Relaxed);
+                self.engaged.store(false, Ordering::Release);
                 waiter.take()
             }
             None => None,
